@@ -1,0 +1,204 @@
+// Command bookstore runs the paper's online bookstore application
+// (Section 5.5), either as a scripted load generator with optional
+// crash/recovery chaos on the server processes, or as the paper's
+// interactive console BookBuyer ("displays text menus").
+//
+//	bookstore -sessions 20 -level specialized -chaos
+//	bookstore -interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	phoenix "repro"
+	"repro/internal/bookstore"
+)
+
+func main() {
+	var (
+		sessions    = flag.Int("sessions", 10, "buyer sessions to run")
+		levelStr    = flag.String("level", "specialized", "optimization level: baseline | optimized | specialized")
+		chaos       = flag.Bool("chaos", false, "crash a random server process between sessions")
+		seed        = flag.Int64("seed", 1, "chaos randomness seed")
+		dir         = flag.String("dir", "", "state directory (default: temp)")
+		interactive = flag.Bool("interactive", false, "run the console BookBuyer instead of the load generator")
+	)
+	flag.Parse()
+
+	var level bookstore.Level
+	switch *levelStr {
+	case "baseline":
+		level = bookstore.LevelBaseline
+	case "optimized":
+		level = bookstore.LevelOptimizedLogging
+	case "specialized":
+		level = bookstore.LevelSpecialized
+	default:
+		log.Fatalf("unknown level %q", *levelStr)
+	}
+
+	root := *dir
+	if root == "" {
+		d, err := os.MkdirTemp("", "phoenix-bookstore-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		root = d
+	}
+
+	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := bookstore.Deploy(u, "server", level, []string{"alice"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// The recovery service restarts anything chaos kills.
+	m, _ := u.Machine("server")
+	m.EnableAutoRestart(level.Config(), 2*time.Millisecond)
+
+	if *interactive {
+		console(u, m, d)
+		return
+	}
+
+	buyer := bookstore.NewBuyer(u, d, "alice", "WA")
+	rng := rand.New(rand.NewSource(*seed))
+	procs := []string{"store1", "store2", "grabber", "seller", "tax"}
+
+	start := time.Now()
+	crashes := 0
+	for i := 0; i < *sessions; i++ {
+		if *chaos && i > 0 {
+			victim := procs[rng.Intn(len(procs))]
+			if p, ok := m.Process(victim); ok && !p.Crashed() {
+				p.Crash()
+				crashes++
+				fmt.Printf("session %2d: crashed %s (recovery service restarts it)\n", i, victim)
+			}
+		}
+		r, err := buyer.RunSession()
+		if err != nil {
+			log.Fatalf("session %d: %v", i, err)
+		}
+		fmt.Printf("session %2d: %d offers, %d in basket, total $%.2f\n",
+			i, r.Offers, r.Shown, r.Total)
+	}
+	fmt.Printf("\n%d sessions (%d chaos crashes) in %v at level %q; server log forces: %d\n",
+		*sessions, crashes, time.Since(start).Round(time.Millisecond), level, d.Forces())
+}
+
+// console is the paper's BookBuyer: a text-menu client. Crash server
+// processes at any time with `crash <name>`; the recovery service
+// brings them back and your basket survives.
+func console(u *phoenix.Universe, m *phoenix.Machine, d *bookstore.Deployment) {
+	grabber := u.ExternalRef(d.GrabberURI)
+	seller := u.ExternalRef(d.SellerURI)
+	buyer := "you"
+	var lastOffers []bookstore.Offer
+
+	fmt.Println(`bookstore console — commands:
+  search <keyword>     query all stores via the PriceGrabber
+  add <n>              put result #n into your basket
+  show                 list your basket
+  total [state]        basket total with tax (default WA)
+  checkout [state]     buy everything in the basket
+  clear                empty the basket
+  crash <process>      kill store1|store2|grabber|seller|tax
+  quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "search":
+			if len(args) == 0 {
+				fmt.Println("usage: search <keyword>")
+				continue
+			}
+			res, err := grabber.Call("Grab", strings.Join(args, " "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			lastOffers = res[0].([]bookstore.Offer)
+			for i, o := range lastOffers {
+				fmt.Printf("  [%d] %-55s $%7.2f  %s\n", i+1, o.Book.Title, o.Book.Price, o.Store)
+			}
+		case "add":
+			if len(args) != 1 {
+				fmt.Println("usage: add <n>")
+				continue
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 1 || n > len(lastOffers) {
+				fmt.Println("no such search result")
+				continue
+			}
+			o := lastOffers[n-1]
+			item := bookstore.BasketItem{Title: o.Book.Title, Store: o.Store, Price: o.Book.Price}
+			if _, err := seller.Call("AddToBasket", buyer, item); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  added %q\n", o.Book.Title)
+		case "show":
+			res, err := seller.Call("ShowBasket", buyer)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, it := range res[0].([]bookstore.BasketItem) {
+				fmt.Printf("  %-55s $%7.2f\n", it.Title, it.Price)
+			}
+		case "total", "checkout":
+			state := "WA"
+			if len(args) > 0 {
+				state = args[0]
+			}
+			method := map[string]string{"total": "Total", "checkout": "Checkout"}[cmd]
+			res, err := seller.Call(method, buyer, state)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  $%.2f (%s tax)\n", res[0], state)
+		case "clear":
+			if _, err := seller.Call("ClearBasket", buyer); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "crash":
+			if len(args) != 1 {
+				fmt.Println("usage: crash <process>")
+				continue
+			}
+			p, ok := m.Process(args[0])
+			if !ok || p.Crashed() {
+				fmt.Println("no such live process")
+				continue
+			}
+			p.Crash()
+			fmt.Printf("  crashed %s — the recovery service is restarting it\n", args[0])
+		default:
+			fmt.Println("unknown command:", cmd)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command phoenix-bench regenerates the evaluation of "Improving
+// Logging and Recovery Performance in Phoenix/App" (ICDE 2004):
+// Tables 4-8, Figure 9 and the Section 5.5.2 multi-call analysis, each
+// printed next to the numbers the paper reports.
+//
+// Usage:
+//
+//	phoenix-bench                         # run everything at full fidelity
+//	phoenix-bench -experiment table4      # one experiment
+//	phoenix-bench -scale 0.05 -calls 30   # 20x compressed clock, fewer calls
+//	phoenix-bench -list                   # show experiment IDs
+//
+// The simulated disks sleep on a scalable clock: -scale 1 runs in real
+// time (a few minutes for the full suite); smaller scales compress the
+// sleeps while reporting identical model-time results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID to run (default: all)")
+		scale      = flag.Float64("scale", 0.2, "clock scale: 1 = real time, 0.05 = 20x compressed")
+		calls      = flag.Int("calls", 60, "iterations per measured cell")
+		seed       = flag.Int64("seed", 20040330, "random seed for jitter and phase noise")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed}.Defaults()
+
+	var exps []*bench.Experiment
+	if *experiment != "" {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phoenix-bench: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(2)
+		}
+		exps = append(exps, e)
+	} else {
+		exps = bench.All()
+	}
+
+	for _, e := range exps {
+		fmt.Printf("running %s ...\n", e.ID)
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,25 @@
+// Command phoenix-logdump prints a process recovery log human-readably:
+// one line per record, with call identities, context IDs, checkpoint
+// structure and state-record summaries — the tool for answering "what
+// would recovery replay?".
+//
+//	phoenix-logdump /path/to/state/machine/process.log
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: phoenix-logdump <log-directory>")
+		os.Exit(2)
+	}
+	if err := core.DumpLog(os.Stdout, os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "phoenix-logdump: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Bookstore: the paper's Section 5.5 application end to end.
+//
+// Deploys the Figure 10 component graph (two BookStores, a read-only
+// PriceGrabber, a functional TaxCalculator, a BookSeller with
+// subordinate BasketManagers) at the specialized optimization level,
+// runs a buyer session, crashes the seller mid-shopping, and shows the
+// basket surviving recovery. It then re-runs the same session at all
+// three optimization levels and prints the Table 8 force counts.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	phoenix "repro"
+	"repro/internal/bookstore"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "phoenix-bookstore-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := bookstore.Deploy(u, "server", bookstore.LevelSpecialized, []string{"alice"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed:", d.GrabberURI, d.SellerURI, d.TaxURI)
+
+	// A shopping session.
+	grabber := u.ExternalRef(d.GrabberURI)
+	seller := u.ExternalRef(d.SellerURI)
+
+	res, err := grabber.Call("Grab", "recovery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	offers := res[0].([]bookstore.Offer)
+	fmt.Printf("\nsearch \"recovery\" -> %d offers:\n", len(offers))
+	for _, o := range offers {
+		fmt.Printf("  %-55s $%6.2f  (%s)\n", o.Book.Title, o.Book.Price, o.Store)
+	}
+
+	for _, o := range offers[:2] {
+		if _, err := seller.Call("AddToBasket", "alice",
+			bookstore.BasketItem{Title: o.Book.Title, Store: o.Store, Price: o.Book.Price}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nadded two books to alice's basket")
+
+	// Crash the seller process mid-session.
+	m, _ := u.Machine("server")
+	p, _ := m.Process("seller")
+	fmt.Println("crashing the BookSeller process ...")
+	p.Crash()
+	if _, err := m.StartProcess("seller", bookstore.LevelSpecialized.Config()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("seller recovered; checking the basket:")
+
+	res, err = seller.Call("ShowBasket", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range res[0].([]bookstore.BasketItem) {
+		fmt.Printf("  basket: %-55s $%6.2f\n", it.Title, it.Price)
+	}
+	res, err = seller.Call("Total", "alice", "WA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total with WA tax: $%.2f\n", res[0])
+	if _, err := seller.Call("ClearBasket", "alice"); err != nil {
+		log.Fatal(err)
+	}
+	d.Close()
+
+	// Table 8: the same session at the three optimization levels.
+	fmt.Println("\nforces per steady-state session (paper Table 8 shape):")
+	for _, level := range []bookstore.Level{
+		bookstore.LevelBaseline,
+		bookstore.LevelOptimizedLogging,
+		bookstore.LevelSpecialized,
+	} {
+		sub, err := os.MkdirTemp(dir, "lvl-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		u2, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: sub})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d2, err := bookstore.Deploy(u2, "server", level, []string{"alice"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		buyer := bookstore.NewBuyer(u2, d2, "alice", "WA")
+		if _, err := buyer.RunSession(); err != nil { // warm up
+			log.Fatal(err)
+		}
+		d2.ResetStats()
+		if _, err := buyer.RunSession(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-48s %3d forces\n", level, d2.Forces())
+		d2.Close()
+	}
+}

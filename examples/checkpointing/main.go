@@ -1,0 +1,107 @@
+// Checkpointing: context state records and process checkpoints cutting
+// recovery time (paper Section 4 / Table 7).
+//
+// A persistent key-value component serves a long workload twice: once
+// with no checkpointing (recovery replays every call from the creation
+// record) and once saving a context state record every 400 calls with
+// periodic process checkpoints (recovery replays only the suffix). The
+// program crashes the process after each workload and reports the
+// measured recovery times.
+//
+//	go run ./examples/checkpointing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	phoenix "repro"
+)
+
+// Ledger is the workload component.
+type Ledger struct {
+	Entries map[string]int
+	Ops     int
+}
+
+// Post adds an amount to a key.
+func (l *Ledger) Post(key string, amount int) (int, error) {
+	if l.Entries == nil {
+		l.Entries = make(map[string]int)
+	}
+	l.Entries[key] += amount
+	l.Ops++
+	return l.Ops, nil
+}
+
+func main() {
+	const workload = 4000
+
+	for _, ckpt := range []bool{false, true} {
+		dir, err := os.MkdirTemp("", "phoenix-ckpt-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := u.AddMachine("evo1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := phoenix.Config{
+			LogMode:          phoenix.LogOptimized,
+			SpecializedTypes: true,
+		}
+		if ckpt {
+			// The paper's Section 5.4 estimate: save context state
+			// every ~400 calls or more.
+			cfg.SaveStateEvery = 400
+			cfg.CheckpointEvery = 1000
+		}
+		p, err := m.StartProcess("ledgerd", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := p.Create("Ledger", &Ledger{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := u.ExternalRef(h.URI())
+		keys := []string{"rent", "food", "books", "disks"}
+		for i := 0; i < workload; i++ {
+			if _, err := ref.Call("Post", keys[i%len(keys)], 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		p.Crash()
+
+		start := time.Now()
+		p2, err := m.StartProcess("ledgerd", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		h2, ok := p2.Lookup("Ledger")
+		if !ok {
+			log.Fatal("ledger lost")
+		}
+		ledger := h2.Object().(*Ledger)
+		mode := "no checkpoints (replay all from creation)"
+		if ckpt {
+			mode = "state record every 400 calls + process checkpoints"
+		}
+		fmt.Printf("%-52s recovery %8v  ops=%d rent=%d\n",
+			mode, elapsed.Round(time.Microsecond), ledger.Ops, ledger.Entries["rent"])
+		if ledger.Ops != workload {
+			log.Fatalf("recovered ops = %d, want %d", ledger.Ops, workload)
+		}
+		p2.Close()
+		os.RemoveAll(dir)
+	}
+	fmt.Println("\ncheckpointed recovery replays only the log suffix after the last state record")
+}

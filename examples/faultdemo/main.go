@@ -1,0 +1,186 @@
+// Faultdemo: the Figure 2 failure points, exactly-once observed.
+//
+// A persistent Driver calls a persistent Transfer component that moves
+// money between two persistent Account components. Failure injection
+// crashes the Transfer process at each of the paper's Figure 2 failure
+// points (before message 3 is sent; after message 3 but before
+// message 2; after message 2); the recovery service restarts it; and
+// the invariant — every transfer applied exactly once, money conserved
+// — holds at every point.
+//
+//	go run ./examples/faultdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	phoenix "repro"
+)
+
+// Account holds a balance.
+type Account struct {
+	Balance int
+}
+
+// Deposit applies a signed delta.
+func (a *Account) Deposit(d int) (int, error) { a.Balance += d; return a.Balance, nil }
+
+// Get reads the balance.
+func (a *Account) Get() (int, error) { return a.Balance, nil }
+
+// Transfer moves money between two accounts — a multi-step state
+// change that a naive system could apply 0, 1 or 2 times across a
+// crash.
+type Transfer struct {
+	From, To *phoenix.Ref
+	Done     int
+}
+
+// Move debits one account and credits the other.
+func (t *Transfer) Move(amount int) (int, error) {
+	if _, err := t.From.Call("Deposit", -amount); err != nil {
+		return 0, err
+	}
+	if _, err := t.To.Call("Deposit", amount); err != nil {
+		return 0, err
+	}
+	t.Done++
+	return t.Done, nil
+}
+
+// Driver is the persistent top tier whose retries carry stable call
+// IDs, making duplicate elimination possible end to end.
+type Driver struct {
+	Transfer *phoenix.Ref
+}
+
+// Run performs one transfer.
+func (d *Driver) Run(amount int) (int, error) {
+	res, err := d.Transfer.Call("Move", amount)
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+func main() {
+	points := []phoenix.InjectionPoint{
+		phoenix.PointServerBeforeLogIncoming,
+		phoenix.PointServerAfterLogIncoming,
+		phoenix.PointClientBeforeForceSend,
+		phoenix.PointClientAfterForceSend,
+		phoenix.PointClientAfterReply,
+		phoenix.PointServerAfterExecute,
+		phoenix.PointServerBeforeSendReply,
+	}
+
+	for _, pt := range points {
+		if err := run(pt); err != nil {
+			log.Fatalf("%s: %v", pt, err)
+		}
+	}
+	fmt.Println("\nall failure points: transfers applied exactly once, money conserved")
+}
+
+func run(pt phoenix.InjectionPoint) error {
+	dir, err := os.MkdirTemp("", "phoenix-fault-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: dir})
+	if err != nil {
+		return err
+	}
+	base := phoenix.Config{
+		LogMode:          phoenix.LogOptimized,
+		SpecializedTypes: true,
+		RetryInterval:    2 * time.Millisecond,
+		RetryLimit:       2000,
+	}
+	inj := phoenix.NewInjector().CrashAt(pt, 2) // crash on the 2nd pass
+	crashCfg := base
+	crashCfg.Injector = inj
+
+	mBank, err := u.AddMachine("bank")
+	if err != nil {
+		return err
+	}
+	mApp, err := u.AddMachine("app")
+	if err != nil {
+		return err
+	}
+	pBank, err := mBank.StartProcess("accounts", base)
+	if err != nil {
+		return err
+	}
+	pApp, err := mApp.StartProcess("transfer", crashCfg)
+	if err != nil {
+		return err
+	}
+	mApp.EnableAutoRestart(crashCfg, 3*time.Millisecond)
+
+	hFrom, err := pBank.Create("Checking", &Account{Balance: 1000})
+	if err != nil {
+		return err
+	}
+	hTo, err := pBank.Create("Savings", &Account{Balance: 0})
+	if err != nil {
+		return err
+	}
+	hT, err := pApp.Create("Transfer", &Transfer{
+		From: phoenix.NewRef(hFrom.URI()),
+		To:   phoenix.NewRef(hTo.URI()),
+	})
+	if err != nil {
+		return err
+	}
+	mDrv, err := u.AddMachine("client")
+	if err != nil {
+		return err
+	}
+	pDrv, err := mDrv.StartProcess("driver", base)
+	if err != nil {
+		return err
+	}
+	hD, err := pDrv.Create("Driver", &Driver{Transfer: phoenix.NewRef(hT.URI())})
+	if err != nil {
+		return err
+	}
+
+	ref := u.ExternalRef(hD.URI())
+	const transfers = 4
+	for i := 0; i < transfers; i++ {
+		if _, err := ref.Call("Run", 100); err != nil {
+			return fmt.Errorf("transfer %d: %w", i, err)
+		}
+	}
+
+	from, err := u.ExternalRef(hFrom.URI()).Call("Get")
+	if err != nil {
+		return err
+	}
+	to, err := u.ExternalRef(hTo.URI()).Call("Get")
+	if err != nil {
+		return err
+	}
+	fired := inj.Fired(pt)
+	fmt.Printf("%-32s crash fired=%d  checking=%4v savings=%4v  (want 600/400)\n",
+		pt, fired, from[0], to[0])
+	if from[0].(int) != 1000-100*transfers || to[0].(int) != 100*transfers {
+		return fmt.Errorf("money not conserved: %v / %v", from[0], to[0])
+	}
+	if fired != 1 {
+		return fmt.Errorf("injection fired %d times, want 1", fired)
+	}
+	pDrv.Close()
+	pBank.Close()
+	if p, ok := mApp.Process("transfer"); ok {
+		p.Close()
+	}
+	return nil
+}

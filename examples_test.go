@@ -1,0 +1,39 @@
+package phoenix_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end: each is a
+// self-verifying program (they log.Fatal on any correctness violation),
+// so a zero exit status plus the expected closing line is a real check.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full crash/recovery cycles")
+	}
+	cases := []struct {
+		pkg  string
+		want string // substring that must appear in the output
+	}{
+		{"./examples/quickstart", "exactly-once: no lost or repeated work"},
+		{"./examples/bookstore", "forces"},
+		{"./examples/faultdemo", "transfers applied exactly once, money conserved"},
+		{"./examples/checkpointing", "replays only the log suffix"},
+		{"./examples/pipeline", "every order recorded exactly once"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.pkg, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("%s output missing %q:\n%s", tc.pkg, tc.want, out)
+			}
+		})
+	}
+}

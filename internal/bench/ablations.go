@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	phoenix "repro"
+)
+
+// Ablations beyond the paper's tables, for the design choices DESIGN.md
+// calls out: force-combining across components sharing a process log,
+// short versus long message-2 records, and the checkpoint-interval
+// sweep around the paper's ~400-call crossover estimate.
+
+func init() {
+	register(&Experiment{
+		ID:    "ablation-combining",
+		Title: "Force combining across contexts sharing one process log",
+		Run:   runAblationCombining,
+	})
+	register(&Experiment{
+		ID:    "ablation-records",
+		Title: "Short vs long message-2 records (bytes written per call)",
+		Run:   runAblationRecords,
+	})
+	register(&Experiment{
+		ID:    "ablation-ckpt-interval",
+		Title: "Recovery time vs context-state-save interval",
+		Run:   runAblationCkptInterval,
+	})
+}
+
+// runAblationCombining: N concurrent persistent clients call N
+// components hosted in ONE server process. Each call semantically
+// requires a force at its reply, but the contexts share the log
+// manager, so one physical sync covers several components' pending
+// records — "it allows more opportunities to combine log forces from
+// multiple components that share the same log" (Section 3.1.1). The
+// measured forces-per-call drop below 1.0 as concurrency grows.
+func runAblationCombining(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID:    "Ablation",
+		Title: "Force combining: server forces per call vs concurrent clients",
+		Cols:  []string{"Concurrent clients", "Calls", "Server forces", "Forces/call"},
+		Notes: []string{
+			"contexts sharing one process log piggyback on each other's syncs; at 1 client every call pays its own force",
+		},
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		ec := localEnv()
+		ec.hostDisk = true // combining is about counts; real fsync makes it visible
+		e, err := newEnv(o, ec)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := e.u.AddMachine("server")
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		cfg := benchConfig(phoenix.LogOptimized, true)
+		ps, err := ms.StartProcess("shared", cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+
+		type clientRig struct {
+			ref *phoenix.Ref
+		}
+		var rigs []clientRig
+		for c := 0; c < clients; c++ {
+			hs, err := ps.Create(fmt.Sprintf("Comp%d", c), &BenchServer{})
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			mc, err := e.u.AddMachine(fmt.Sprintf("client%d", c))
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			pc, err := mc.StartProcess("cli", cfg)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			hb, err := pc.Create("Batcher", &BenchBatcher{Server: phoenix.NewRef(hs.URI())})
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			rigs = append(rigs, clientRig{ref: e.u.ExternalRef(hb.URI())})
+		}
+		// Warm up (learning + creation noise), then measure.
+		for _, r := range rigs {
+			if _, err := r.ref.Call("RunBatch", "Add", 1, 1); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		ps.ResetLogStats()
+		perClient := o.Calls
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for _, r := range rigs {
+			wg.Add(1)
+			go func(ref *phoenix.Ref) {
+				defer wg.Done()
+				if _, err := ref.Call("RunBatch", "Add", perClient, 1); err != nil {
+					errs <- err
+				}
+			}(r.ref)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			e.Close()
+			return nil, err
+		}
+		total := clients * perClient
+		forces := ps.LogStats().Forces
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", forces),
+			fmt.Sprintf("%.2f", float64(forces)/float64(total)),
+		})
+		e.Close()
+	}
+	return t, nil
+}
+
+// runAblationRecords compares log bytes per external call: the
+// baseline logs message 2 in full; Algorithm 3 logs only a short
+// sent-marker, because replay can regenerate the content.
+func runAblationRecords(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID:    "Ablation",
+		Title: "Message-2 record size: baseline full reply vs Algorithm 3 short record",
+		Cols:  []string{"Mode", "Appends/call", "Bytes/call"},
+		Notes: []string{
+			"the paper's incoming record measured 186 B; reply bodies scale with results, the short record does not",
+		},
+	}
+	for _, mode := range []phoenix.LogMode{phoenix.LogBaseline, phoenix.LogOptimized} {
+		ec := localEnv()
+		ec.hostDisk = true
+		e, err := newEnv(o, ec)
+		if err != nil {
+			return nil, err
+		}
+		m, _ := e.u.AddMachine("evo1")
+		cfg := benchConfig(mode, mode == phoenix.LogOptimized)
+		p, err := m.StartProcess("srv", cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		h, err := p.Create("Server", &BenchServer{})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		ref := e.u.ExternalRef(h.URI())
+		if _, err := ref.Call("Add", 1); err != nil {
+			e.Close()
+			return nil, err
+		}
+		p.ResetLogStats()
+		for i := 0; i < o.Calls; i++ {
+			if _, err := ref.Call("Add", 1); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		st := p.LogStats()
+		t.Rows = append(t.Rows, []string{
+			mode.String(),
+			fmt.Sprintf("%.1f", float64(st.Appends)/float64(o.Calls)),
+			fmt.Sprintf("%.0f", float64(st.BytesWritten)/float64(o.Calls)),
+		})
+		p.Close()
+		e.Close()
+	}
+	return t, nil
+}
+
+// runAblationCkptInterval sweeps SaveStateEvery for a fixed workload
+// and reports recovery wall time — the engineering answer to the
+// paper's "how frequent context states should be saved" (Section 5.4).
+func runAblationCkptInterval(o Options) (*Table, error) {
+	o = o.Defaults()
+	workload := 3000
+	if len(o.RecoverySizes) > 0 {
+		workload = o.RecoverySizes[len(o.RecoverySizes)-1]
+	}
+	t := &Table{
+		ID:    "Ablation",
+		Title: fmt.Sprintf("Recovery time vs state-save interval (%d-call workload)", workload),
+		Cols:  []string{"SaveStateEvery", "Recovery (ms)", "State records"},
+		Notes: []string{
+			"0 = never: recovery replays the whole history from the creation record",
+		},
+	}
+	for _, every := range []int{0, 100, 400, 1000} {
+		ec := localEnv()
+		ec.hostDisk = true
+		e, err := newEnv(o, ec)
+		if err != nil {
+			return nil, err
+		}
+		m, _ := e.u.AddMachine("evo1")
+		cfg := benchConfig(phoenix.LogOptimized, true)
+		cfg.SaveStateEvery = every
+		cfg.CheckpointEvery = 500
+		p, err := m.StartProcess("srv", cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		h, err := p.Create("Server", &BenchServer{})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		ref := e.u.ExternalRef(h.URI())
+		for i := 0; i < workload; i++ {
+			if _, err := ref.Call("Add", 1); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		states := 0
+		if every > 0 {
+			states = workload / every
+		}
+		p.Crash()
+		start := time.Now()
+		p2, err := m.StartProcess("srv", cfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if hh, ok := p2.Lookup("Server"); !ok || hh.Object().(*BenchServer).N != workload {
+			e.Close()
+			return nil, fmt.Errorf("ablation-ckpt: bad recovery at interval %d", every)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", every), ms(elapsed), fmt.Sprintf("~%d", states),
+		})
+		p2.Close()
+		e.Close()
+	}
+	return t, nil
+}

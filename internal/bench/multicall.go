@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	phoenix "repro"
+	"repro/internal/ids"
+)
+
+// Section 5.5.2 — Multi-call optimization: a PriceGrabber-like fan-out
+// component queries k servers inside one method execution. Without the
+// optimization the client forces the log before each distinct send;
+// with it, calls to distinct servers within one execution skip the
+// force, so the per-execution force count stays flat as k grows.
+func init() {
+	register(&Experiment{
+		ID:    "multicall",
+		Title: "Multi-call optimization (Section 3.5 / 5.5.2)",
+		Run:   runMultiCall,
+	})
+}
+
+// FanOut is the measured component: one incoming call fans out to k
+// persistent servers.
+type FanOut struct {
+	Servers []string
+	ctx     *phoenix.Ctx
+}
+
+// AttachContext receives the context handle.
+func (f *FanOut) AttachContext(cx *phoenix.Ctx) { f.ctx = cx }
+
+// Fan queries every server once.
+func (f *FanOut) Fan(arg int) (int, error) {
+	sum := 0
+	for _, s := range f.Servers {
+		res, err := f.ctx.NewRef(ids.URI(s)).Call("Add", arg)
+		if err != nil {
+			return 0, err
+		}
+		sum += res[0].(int)
+	}
+	return sum, nil
+}
+
+func runMultiCall(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID:    "Sec 5.5.2",
+		Title: "Multi-call optimization: client forces per fan-out execution",
+		Cols: []string{"Servers queried", "Forces (off)", "Forces (on)",
+			"Elapsed off", "Elapsed on"},
+		Notes: []string{
+			"paper: \"the PriceGrabber forces the log only once, regardless of the number of Bookstores it queries\" — with the optimization the per-execution force count is flat; without it, it grows with the fan-out",
+		},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		var cells [2]measurement
+		for i, multi := range []bool{false, true} {
+			ec := localEnv()
+			e, err := newEnv(o, ec)
+			if err != nil {
+				return nil, err
+			}
+			cfg := benchConfig(phoenix.LogOptimized, true)
+			cfg.MultiCall = multi
+			pc, ps, err := e.startPair(cfg)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			var servers []string
+			for s := 0; s < k; s++ {
+				hs, err := ps.Create(fmt.Sprintf("S%d", s), &BenchServer{})
+				if err != nil {
+					e.Close()
+					return nil, err
+				}
+				servers = append(servers, string(hs.URI()))
+			}
+			hf, err := pc.Create("FanOut", &FanOut{Servers: servers})
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			ref := e.u.ExternalRef(hf.URI())
+			if _, err := ref.Call("Fan", 1); err != nil { // warm up
+				e.Close()
+				return nil, err
+			}
+			pc.ResetLogStats()
+			reps := o.Calls / 10
+			if reps < 3 {
+				reps = 3
+			}
+			elapsed, err := e.elapsed(func() error {
+				for r := 0; r < reps; r++ {
+					if _, err := ref.Call("Fan", 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			forces := float64(pc.LogStats().Forces) / float64(reps)
+			cells[i] = measurement{
+				perCall:       elapsed / time.Duration(reps),
+				forcesPerCall: forces - 2, // exclude the external envelope
+			}
+			pc.Close()
+			ps.Close()
+			e.Close()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.1f", cells[0].forcesPerCall),
+			fmt.Sprintf("%.1f", cells[1].forcesPerCall),
+			ms(cells[0].perCall), ms(cells[1].perCall),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bookstore"
+)
+
+// Table 8 — Performance of the Online Bookstore Application: the
+// scripted buyer session (search "recovery", add a book from each
+// store, show basket + total with tax, clear) at the three
+// optimization levels, reporting elapsed time and number of log
+// forces.
+func init() {
+	register(&Experiment{
+		ID:    "table8",
+		Title: "Online bookstore application (elapsed time and forces per session)",
+		Run:   runTable8,
+	})
+}
+
+var paper8 = map[bookstore.Level][2]string{
+	bookstore.LevelBaseline:         {"589 ms", "64"},
+	bookstore.LevelOptimizedLogging: {"382 ms", "46"},
+	bookstore.LevelSpecialized:      {"296 ms", "34"},
+}
+
+func runTable8(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID:    "Table 8",
+		Title: "Performance of Online Bookstore Application",
+		Cols: []string{"Optimization level", "Elapsed", "Forces",
+			"Paper elapsed", "Paper forces"},
+		Notes: []string{
+			"one steady-state session: search + 2 basket adds + show + total + clear; forces summed over all server processes",
+			"absolute force counts differ from the paper's (session scripts differ in call counts) — the reproduction target is the monotone drop and the roughly 2x elapsed-time cut",
+		},
+	}
+	levels := []bookstore.Level{
+		bookstore.LevelBaseline,
+		bookstore.LevelOptimizedLogging,
+		bookstore.LevelSpecialized,
+	}
+	for _, level := range levels {
+		ec := remoteEnv() // buyer on one machine, servers on the other
+		e, err := newEnv(o, ec)
+		if err != nil {
+			return nil, err
+		}
+		d, err := bookstore.Deploy(e.u, "evo2", level, []string{"buyer"})
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("table8 %v: %w", level, err)
+		}
+		buyer := bookstore.NewBuyer(e.u, d, "buyer", "WA")
+		if _, err := buyer.RunSession(); err != nil { // warm up
+			d.Close()
+			e.Close()
+			return nil, fmt.Errorf("table8 %v warmup: %w", level, err)
+		}
+		d.ResetStats()
+		var elapsed time.Duration
+		elapsed, err = e.elapsed(func() error {
+			_, err := buyer.RunSession()
+			return err
+		})
+		if err != nil {
+			d.Close()
+			e.Close()
+			return nil, fmt.Errorf("table8 %v: %w", level, err)
+		}
+		forces := d.Forces()
+		paper := paper8[level]
+		t.Rows = append(t.Rows, []string{
+			level.String(), ms(elapsed) + " ms", fmt.Sprintf("%d", forces),
+			paper[0], paper[1],
+		})
+		d.Close()
+		e.Close()
+	}
+	return t, nil
+}

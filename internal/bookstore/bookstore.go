@@ -1,0 +1,315 @@
+// Package bookstore implements the online bookstore application of
+// paper Section 5.5 (Figure 10): two BookStore components hold
+// inventories; a PriceGrabber supports keyword searches across all
+// stores; a TaxCalculator computes sales tax; a BookSeller manages a
+// set of BasketManager subordinates, one shopping basket per buyer; and
+// a BookBuyer drives the system as an external client.
+//
+// The application deploys at the paper's three optimization levels
+// (Table 8): the baseline system with every component persistent and
+// every message forced; optimized logging for persistent components;
+// and specialized component types plus read-only methods, where the
+// PriceGrabber is read-only, the TaxCalculator is functional, and the
+// BasketManagers are subordinates of the BookSeller.
+package bookstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	phoenix "repro"
+)
+
+// Book is one inventory entry.
+type Book struct {
+	Title  string
+	Author string
+	Price  float64
+	Stock  int
+}
+
+// Offer is a search hit: a book at a store.
+type Offer struct {
+	Store string // component URI of the store
+	Book  Book
+}
+
+// BasketItem is one line of a shopping basket.
+type BasketItem struct {
+	Title string
+	Store string
+	Price float64
+}
+
+func init() {
+	phoenix.RegisterType(Book{})
+	phoenix.RegisterType([]Book(nil))
+	phoenix.RegisterType(Offer{})
+	phoenix.RegisterType([]Offer(nil))
+	phoenix.RegisterType(BasketItem{})
+	phoenix.RegisterType([]BasketItem(nil))
+}
+
+// BookStore maintains the inventory of a store (persistent).
+type BookStore struct {
+	Inventory []Book
+}
+
+// Search returns the books whose title or author contains the keyword
+// (case-insensitive). It is a read-only method at the specialized
+// optimization level.
+func (s *BookStore) Search(keyword string) ([]Book, error) {
+	kw := strings.ToLower(keyword)
+	var out []Book
+	for _, b := range s.Inventory {
+		if strings.Contains(strings.ToLower(b.Title), kw) ||
+			strings.Contains(strings.ToLower(b.Author), kw) {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Price quotes a single title (read-only method).
+func (s *BookStore) Price(title string) (float64, error) {
+	for _, b := range s.Inventory {
+		if b.Title == title {
+			return b.Price, nil
+		}
+	}
+	return 0, fmt.Errorf("bookstore: no such title %q", title)
+}
+
+// Buy decrements stock — a state change, never read-only.
+func (s *BookStore) Buy(title string) (Book, error) {
+	for i := range s.Inventory {
+		if s.Inventory[i].Title == title {
+			if s.Inventory[i].Stock <= 0 {
+				return Book{}, fmt.Errorf("bookstore: %q out of stock", title)
+			}
+			s.Inventory[i].Stock--
+			return s.Inventory[i], nil
+		}
+	}
+	return Book{}, fmt.Errorf("bookstore: no such title %q", title)
+}
+
+// Restock adds stock for a title, creating it if absent.
+func (s *BookStore) Restock(b Book) (int, error) {
+	for i := range s.Inventory {
+		if s.Inventory[i].Title == b.Title {
+			s.Inventory[i].Stock += b.Stock
+			return s.Inventory[i].Stock, nil
+		}
+	}
+	s.Inventory = append(s.Inventory, b)
+	return b.Stock, nil
+}
+
+// PriceGrabber supports keyword searches on all the bookstores. It is
+// stateless apart from static wiring, and at the specialized level it
+// is a read-only component: its calls read store state that can change
+// between calls, so its replies are unrepeatable (Section 3.2.3's
+// meta-search engine example).
+type PriceGrabber struct {
+	Stores []string // store component URIs
+
+	ctx *phoenix.Ctx
+}
+
+// AttachContext receives the context handle (transient).
+func (g *PriceGrabber) AttachContext(cx *phoenix.Ctx) { g.ctx = cx }
+
+// Grab searches every store and rolls up the offers.
+func (g *PriceGrabber) Grab(keyword string) ([]Offer, error) {
+	var offers []Offer
+	for _, store := range g.Stores {
+		res, err := g.ctx.NewRef(phoenix.URI(store)).Call("Search", keyword)
+		if err != nil {
+			return nil, fmt.Errorf("grab from %s: %w", store, err)
+		}
+		for _, b := range res[0].([]Book) {
+			offers = append(offers, Offer{Store: store, Book: b})
+		}
+	}
+	sort.Slice(offers, func(i, j int) bool {
+		if offers[i].Book.Title != offers[j].Book.Title {
+			return offers[i].Book.Title < offers[j].Book.Title
+		}
+		return offers[i].Store < offers[j].Store
+	})
+	return offers, nil
+}
+
+// TaxCalculator computes sales tax from total price and user
+// information; it is purely functional.
+type TaxCalculator struct {
+	// Rates maps a buyer's state code to its sales tax rate. Static
+	// configuration, set at creation.
+	Rates map[string]float64
+}
+
+// Tax returns the tax owed on total for a buyer in the given state.
+// Same arguments, same result — the functional contract.
+func (t *TaxCalculator) Tax(total float64, state string) (float64, error) {
+	rate, ok := t.Rates[state]
+	if !ok {
+		rate = 0.08
+	}
+	return total * rate, nil
+}
+
+// BasketManager maintains one buyer's shopping basket. At the
+// specialized level it is a subordinate of the BookSeller; at the
+// baseline levels each basket manager is its own persistent component.
+type BasketManager struct {
+	Items []BasketItem
+}
+
+// Add puts an item in the basket.
+func (b *BasketManager) Add(item BasketItem) (int, error) {
+	b.Items = append(b.Items, item)
+	return len(b.Items), nil
+}
+
+// List returns the basket contents.
+func (b *BasketManager) List() ([]BasketItem, error) {
+	out := make([]BasketItem, len(b.Items))
+	copy(out, b.Items)
+	return out, nil
+}
+
+// Clear empties the basket and reports how many items were removed.
+func (b *BasketManager) Clear() (int, error) {
+	n := len(b.Items)
+	b.Items = nil
+	return n, nil
+}
+
+// Subtotal sums the basket.
+func (b *BasketManager) Subtotal() (float64, error) {
+	var t float64
+	for _, it := range b.Items {
+		t += it.Price
+	}
+	return t, nil
+}
+
+// BookSeller manages a set of basket managers, each maintaining a
+// shopping basket for a book buyer.
+type BookSeller struct {
+	// TaxURI locates the tax calculator.
+	TaxURI string
+	// Subordinated selects the deployment: true places basket
+	// managers inside the seller's context (Section 3.2.1), false
+	// places each in its own persistent component, with BasketProc
+	// naming the process that hosts them.
+	Subordinated bool
+	// BasketMachine/BasketProc locate externally hosted baskets when
+	// Subordinated is false.
+	BasketMachine string
+	BasketProc    string
+	// Known tracks which buyers have baskets (deterministic order).
+	Known []string
+
+	ctx *phoenix.Ctx
+}
+
+// AttachContext receives the context handle (transient).
+func (s *BookSeller) AttachContext(cx *phoenix.Ctx) { s.ctx = cx }
+
+func (s *BookSeller) basketName(buyer string) string { return "Basket-" + buyer }
+
+// ensureBasket returns a closure that calls the buyer's basket
+// manager, creating it on first use.
+func (s *BookSeller) basketCall(buyer, method string, args ...any) ([]any, error) {
+	name := s.basketName(buyer)
+	if s.Subordinated {
+		sub, ok := s.ctx.Subordinate(name)
+		if !ok {
+			var err error
+			sub, err = s.ctx.CreateSubordinate(name, &BasketManager{})
+			if err != nil {
+				return nil, err
+			}
+			s.Known = append(s.Known, buyer)
+		}
+		return sub.Call(method, args...)
+	}
+	uri := phoenix.MakeURI(s.BasketMachine, s.BasketProc, name)
+	return s.ctx.NewRef(uri).Call(method, args...)
+}
+
+// AddToBasket records an offer in the buyer's basket.
+func (s *BookSeller) AddToBasket(buyer string, item BasketItem) (int, error) {
+	res, err := s.basketCall(buyer, "Add", item)
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+// ShowBasket lists the buyer's basket (read-only method at the
+// specialized level).
+func (s *BookSeller) ShowBasket(buyer string) ([]BasketItem, error) {
+	res, err := s.basketCall(buyer, "List")
+	if err != nil {
+		return nil, err
+	}
+	return res[0].([]BasketItem), nil
+}
+
+// Total computes the basket total including tax (read-only method: it
+// reads basket state and calls only the functional tax calculator).
+func (s *BookSeller) Total(buyer, state string) (float64, error) {
+	res, err := s.basketCall(buyer, "Subtotal")
+	if err != nil {
+		return 0, err
+	}
+	subtotal := res[0].(float64)
+	tres, err := s.ctx.NewRef(phoenix.URI(s.TaxURI)).Call("Tax", subtotal, state)
+	if err != nil {
+		return 0, err
+	}
+	return subtotal + tres[0].(float64), nil
+}
+
+// ClearBasket empties the buyer's basket.
+func (s *BookSeller) ClearBasket(buyer string) (int, error) {
+	res, err := s.basketCall(buyer, "Clear")
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+// Checkout purchases every basket item from its store, computes the
+// taxed total, and empties the basket. One execution makes an outgoing
+// call to each distinct store — exactly the fan-out the Section 3.5
+// multi-call optimization targets.
+func (s *BookSeller) Checkout(buyer, state string) (float64, error) {
+	res, err := s.basketCall(buyer, "List")
+	if err != nil {
+		return 0, err
+	}
+	items := res[0].([]BasketItem)
+	if len(items) == 0 {
+		return 0, fmt.Errorf("bookstore: basket of %q is empty", buyer)
+	}
+	var subtotal float64
+	for _, it := range items {
+		if _, err := s.ctx.NewRef(phoenix.URI(it.Store)).Call("Buy", it.Title); err != nil {
+			return 0, fmt.Errorf("buy %q from %s: %w", it.Title, it.Store, err)
+		}
+		subtotal += it.Price
+	}
+	tres, err := s.ctx.NewRef(phoenix.URI(s.TaxURI)).Call("Tax", subtotal, state)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.basketCall(buyer, "Clear"); err != nil {
+		return 0, err
+	}
+	return subtotal + tres[0].(float64), nil
+}

@@ -1,0 +1,280 @@
+package bookstore
+
+import (
+	"fmt"
+
+	phoenix "repro"
+)
+
+// Level is one of the paper's Table 8 optimization levels.
+type Level int
+
+const (
+	// LevelBaseline: every component persistent, every message forced
+	// (the first prototype).
+	LevelBaseline Level = iota
+	// LevelOptimizedLogging: optimized logging for persistent
+	// components, topology unchanged.
+	LevelOptimizedLogging
+	// LevelSpecialized: specialized component types and read-only
+	// methods on top of optimized logging.
+	LevelSpecialized
+)
+
+// String names the level as Table 8 does.
+func (l Level) String() string {
+	switch l {
+	case LevelBaseline:
+		return "Baseline"
+	case LevelOptimizedLogging:
+		return "Optimized logging for persistent components"
+	case LevelSpecialized:
+		return "Specialized components and read-only methods"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Deployment is a wired bookstore instance.
+type Deployment struct {
+	Level Level
+
+	GrabberURI phoenix.URI
+	SellerURI  phoenix.URI
+	TaxURI     phoenix.URI
+	StoreURIs  []phoenix.URI
+
+	// ServerProcs are the processes hosting server components, in a
+	// fixed order, for stats collection.
+	ServerProcs []*phoenix.Process
+}
+
+// Config returns the runtime switches for a level.
+func (l Level) Config() phoenix.Config {
+	cfg := phoenix.Config{}
+	switch l {
+	case LevelBaseline:
+		cfg.LogMode = phoenix.LogBaseline
+	case LevelOptimizedLogging:
+		cfg.LogMode = phoenix.LogOptimized
+	case LevelSpecialized:
+		cfg.LogMode = phoenix.LogOptimized
+		cfg.SpecializedTypes = true
+	}
+	return cfg
+}
+
+// Inventories returns the demo stock for the two stores.
+func Inventories() ([]Book, []Book) {
+	store1 := []Book{
+		{Title: "Recovery Guarantees for General Multi-Tier Applications", Author: "Barga", Price: 42.00, Stock: 10},
+		{Title: "Transaction Processing: Concepts and Techniques", Author: "Gray and Reuter", Price: 89.95, Stock: 5},
+		{Title: "Efficient Transparent Application Recovery", Author: "Lomet and Weikum", Price: 35.50, Stock: 8},
+	}
+	store2 := []Book{
+		{Title: "Recovery Guarantees for General Multi-Tier Applications", Author: "Barga", Price: 39.99, Stock: 3},
+		{Title: "A Survey of Rollback-Recovery Protocols", Author: "Elnozahy", Price: 27.25, Stock: 12},
+		{Title: "ARIES: A Transaction Recovery Method", Author: "Mohan", Price: 55.00, Stock: 7},
+	}
+	return store1, store2
+}
+
+// Deploy builds the Figure 10 application on serverMachine at the given
+// optimization level, with baskets pre-provisioned for the named
+// buyers (needed by the non-subordinated levels, where each basket
+// manager is its own persistent component).
+func Deploy(u *phoenix.Universe, serverMachine string, level Level, buyers []string) (*Deployment, error) {
+	m, err := u.AddMachine(serverMachine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := level.Config()
+
+	// One process per top-level component, as in the paper's
+	// component-per-context deployment; basket managers live in the
+	// seller's process (as subordinates or as their own components).
+	procNames := []string{"store1", "store2", "grabber", "seller", "tax"}
+	procs := make(map[string]*phoenix.Process, len(procNames))
+	for _, n := range procNames {
+		p, err := m.StartProcess(n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bookstore: start %s: %w", n, err)
+		}
+		procs[n] = p
+	}
+
+	d := &Deployment{Level: level}
+	inv1, inv2 := Inventories()
+
+	roStore := []phoenix.CreateOption(nil)
+	if level == LevelSpecialized {
+		roStore = append(roStore, phoenix.WithReadOnlyMethods("Search", "Price"))
+	}
+	h1, err := procs["store1"].Create("Store1", &BookStore{Inventory: inv1}, roStore...)
+	if err != nil {
+		return nil, err
+	}
+	h2, err := procs["store2"].Create("Store2", &BookStore{Inventory: inv2}, roStore...)
+	if err != nil {
+		return nil, err
+	}
+	d.StoreURIs = []phoenix.URI{h1.URI(), h2.URI()}
+
+	taxOpts := []phoenix.CreateOption(nil)
+	if level == LevelSpecialized {
+		taxOpts = append(taxOpts, phoenix.WithType(phoenix.Functional))
+	}
+	ht, err := procs["tax"].Create("TaxCalculator", &TaxCalculator{
+		Rates: map[string]float64{"WA": 0.095, "CA": 0.0875, "PA": 0.06},
+	}, taxOpts...)
+	if err != nil {
+		return nil, err
+	}
+	d.TaxURI = ht.URI()
+
+	grabOpts := []phoenix.CreateOption(nil)
+	if level == LevelSpecialized {
+		grabOpts = append(grabOpts, phoenix.WithType(phoenix.ReadOnly))
+	}
+	hg, err := procs["grabber"].Create("PriceGrabber", &PriceGrabber{
+		Stores: []string{string(h1.URI()), string(h2.URI())},
+	}, grabOpts...)
+	if err != nil {
+		return nil, err
+	}
+	d.GrabberURI = hg.URI()
+
+	seller := &BookSeller{
+		TaxURI:        string(ht.URI()),
+		Subordinated:  level == LevelSpecialized,
+		BasketMachine: serverMachine,
+		BasketProc:    "seller",
+	}
+	sellerOpts := []phoenix.CreateOption(nil)
+	if level == LevelSpecialized {
+		sellerOpts = append(sellerOpts, phoenix.WithReadOnlyMethods("ShowBasket", "Total"))
+	}
+	hs, err := procs["seller"].Create("BookSeller", seller, sellerOpts...)
+	if err != nil {
+		return nil, err
+	}
+	d.SellerURI = hs.URI()
+
+	// At the non-subordinated levels each buyer's basket manager is a
+	// separate persistent component in the seller's process.
+	if level != LevelSpecialized {
+		for _, b := range buyers {
+			if _, err := procs["seller"].Create("Basket-"+b, &BasketManager{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, n := range procNames {
+		d.ServerProcs = append(d.ServerProcs, procs[n])
+	}
+	return d, nil
+}
+
+// ResetStats zeroes all server processes' log statistics.
+func (d *Deployment) ResetStats() {
+	for _, p := range d.ServerProcs {
+		p.ResetLogStats()
+	}
+}
+
+// Forces sums the log forces across the server processes.
+func (d *Deployment) Forces() int64 {
+	var total int64
+	for _, p := range d.ServerProcs {
+		total += p.LogStats().Forces
+	}
+	return total
+}
+
+// Close stops all server processes.
+func (d *Deployment) Close() {
+	for _, p := range d.ServerProcs {
+		p.Close()
+	}
+}
+
+// Buyer drives the system as the paper's BookBuyer: an external
+// component on the client machine running the Section 5.5 script.
+type Buyer struct {
+	Name  string
+	State string // tax jurisdiction
+
+	grabber *phoenix.Ref
+	seller  *phoenix.Ref
+}
+
+// NewBuyer wires an external buyer against a deployment.
+func NewBuyer(u *phoenix.Universe, d *Deployment, name, state string) *Buyer {
+	return &Buyer{
+		Name:    name,
+		State:   state,
+		grabber: u.ExternalRef(d.GrabberURI),
+		seller:  u.ExternalRef(d.SellerURI),
+	}
+}
+
+// SessionResult reports one scripted session.
+type SessionResult struct {
+	Offers  int
+	Added   int
+	Shown   int
+	Total   float64
+	Removed int
+}
+
+// RunSession performs the paper's measured operation set: (i) search
+// books with the keyword "recovery"; (ii) add a book from each
+// bookstore to the shopping basket; (iii) show the shopping basket and
+// compute total price including tax; (iv) remove all the books from
+// the shopping basket.
+func (b *Buyer) RunSession() (SessionResult, error) {
+	var r SessionResult
+
+	// (i) keyword search via the PriceGrabber.
+	res, err := b.grabber.Call("Grab", "recovery")
+	if err != nil {
+		return r, fmt.Errorf("search: %w", err)
+	}
+	offers := res[0].([]Offer)
+	r.Offers = len(offers)
+
+	// (ii) add one book from each store.
+	seen := make(map[string]bool)
+	for _, o := range offers {
+		if seen[o.Store] {
+			continue
+		}
+		seen[o.Store] = true
+		item := BasketItem{Title: o.Book.Title, Store: o.Store, Price: o.Book.Price}
+		if _, err := b.seller.Call("AddToBasket", b.Name, item); err != nil {
+			return r, fmt.Errorf("add to basket: %w", err)
+		}
+		r.Added++
+	}
+
+	// (iii) show the basket and compute the total including tax.
+	res, err = b.seller.Call("ShowBasket", b.Name)
+	if err != nil {
+		return r, fmt.Errorf("show basket: %w", err)
+	}
+	r.Shown = len(res[0].([]BasketItem))
+	res, err = b.seller.Call("Total", b.Name, b.State)
+	if err != nil {
+		return r, fmt.Errorf("total: %w", err)
+	}
+	r.Total = res[0].(float64)
+
+	// (iv) remove all the books.
+	res, err = b.seller.Call("ClearBasket", b.Name)
+	if err != nil {
+		return r, fmt.Errorf("clear: %w", err)
+	}
+	r.Removed = res[0].(int)
+	return r, nil
+}

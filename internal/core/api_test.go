@@ -1,0 +1,433 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+// Grump returns application errors and unregistered types.
+type Grump struct {
+	Mood string
+}
+
+func (g *Grump) Fail() (int, error) { return 0, errors.New("not today") }
+
+type unregistered struct{ X int }
+
+func (g *Grump) Bad() (unregistered, error) { return unregistered{X: 1}, nil }
+
+func (g *Grump) Hello(name string) (string, error) { return "hi " + name, nil }
+
+func TestAppErrorPropagates(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	h, err := p.Create("Grump", &Grump{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	_, err = ref.Call("Fail")
+	var appErr *AppError
+	if !errors.As(err, &appErr) || appErr.Msg != "not today" {
+		t.Errorf("err = %v, want AppError(not today)", err)
+	}
+	// The component is alive after an application error.
+	res, err := ref.Call("Hello", "phoenix")
+	if err != nil || res[0].(string) != "hi phoenix" {
+		t.Errorf("Hello after AppError: %v %v", res, err)
+	}
+}
+
+func TestFaultsAreNotRetried(t *testing.T) {
+	u := newTestUniverse(t)
+	cfg := testConfig()
+	cfg.RetryInterval = time.Second // a retry would hang the test
+	_, p := startProc(t, u, "evo1", "srv", cfg)
+	defer p.Close()
+	h, err := p.Create("Grump", &Grump{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+
+	var fault *Fault
+	if _, err := ref.Call("NoSuchMethod"); !errors.As(err, &fault) {
+		t.Errorf("unknown method: %v, want Fault", err)
+	}
+	if _, err := ref.Call("Hello", 42); !errors.As(err, &fault) {
+		t.Errorf("wrong arg type: %v, want Fault", err)
+	}
+	bad := u.ExternalRef(MakeURIForTest("evo1", "srv", "Nobody"))
+	if _, err := bad.Call("X"); !errors.As(err, &fault) {
+		t.Errorf("unknown component: %v, want Fault", err)
+	}
+}
+
+// MakeURIForTest builds a URI (mirrors ids.MakeURI for white-box tests).
+func MakeURIForTest(machine, process, component string) ids.URI {
+	return ids.MakeURI(machine, process, component)
+}
+
+func TestUnencodableResultFaults(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	h, err := p.Create("Grump", &Grump{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	var fault *Fault
+	if _, err := ref.Call("Bad"); !errors.As(err, &fault) {
+		t.Errorf("unregistered result type: %v, want Fault", err)
+	}
+}
+
+func TestUnboundRefErrors(t *testing.T) {
+	ref := NewRef("phoenix://a/b/c")
+	if _, err := ref.Call("X"); err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Errorf("unbound ref: %v", err)
+	}
+}
+
+func TestExternalRefWithoutRetryFailsFast(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	h, err := p.Create("Counter", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Crash()
+	ref := u.ExternalRef(h.URI()).WithoutRetry()
+	start := time.Now()
+	_, err = ref.Call("Get")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("WithoutRetry still waited through a retry window")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	if _, err := p.Create("C", &Counter{}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate name.
+	if _, err := p.Create("C", &Counter{}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	// Non-pointer component.
+	if _, err := p.Create("V", Counter{}); err == nil {
+		t.Error("non-pointer component accepted")
+	}
+	// Unknown read-only method.
+	if _, err := p.Create("R", &Counter{}, WithReadOnlyMethods("Nope")); err == nil {
+		t.Error("bogus read-only method accepted")
+	}
+	// Direct subordinate type.
+	if _, err := p.Create("S", &Counter{}, WithType(msg.Subordinate)); err == nil {
+		t.Error("Create with Subordinate type accepted")
+	}
+	// Names that would corrupt URIs or paths.
+	for _, bad := range []string{"", "a/b", "a b", "..", "x\\y"} {
+		if _, err := p.Create(bad, &Counter{}); err == nil {
+			t.Errorf("component name %q accepted", bad)
+		}
+	}
+	// Create after crash.
+	p.Crash()
+	if _, err := p.Create("D", &Counter{}); err == nil {
+		t.Error("Create on crashed process accepted")
+	}
+}
+
+func TestBadMachineAndProcessNames(t *testing.T) {
+	u := newTestUniverse(t)
+	if _, err := u.AddMachine("bad/name"); err == nil {
+		t.Error("machine name with separator accepted")
+	}
+	m, err := u.AddMachine("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("..", testConfig()); err == nil {
+		t.Error("reserved process name accepted")
+	}
+}
+
+func TestLookupAndComponents(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	if _, ok := p.Lookup("X"); ok {
+		t.Error("Lookup found a ghost")
+	}
+	p.Create("B", &Counter{})
+	p.Create("A", &Counter{})
+	names := p.Components()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Components = %v", names)
+	}
+	h, ok := p.Lookup("A")
+	if !ok || h.URI() != MakeURIForTest("evo1", "srv", "A") {
+		t.Errorf("Lookup(A) = %v %v", h, ok)
+	}
+}
+
+func TestStartProcessTwiceRejected(t *testing.T) {
+	u := newTestUniverse(t)
+	m, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	if _, err := m.StartProcess("srv", testConfig()); err == nil {
+		t.Error("second live instance accepted")
+	}
+}
+
+func TestUniverseValidation(t *testing.T) {
+	if _, err := NewUniverse(UniverseConfig{}); err == nil {
+		t.Error("empty Dir accepted")
+	}
+	u := newTestUniverse(t)
+	if _, ok := u.Machine("nope"); ok {
+		t.Error("ghost machine found")
+	}
+	m1, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.AddMachine("evo1") // idempotent
+	if err != nil || m1 != m2 {
+		t.Errorf("AddMachine not idempotent: %v %v", m1 == m2, err)
+	}
+	if m1.Name() != "evo1" {
+		t.Errorf("Name = %q", m1.Name())
+	}
+}
+
+func TestMultipleContextsRecoverTogether(t *testing.T) {
+	// Several components in one process; one crash recovers them all.
+	u := newTestUniverse(t)
+	cfg := testConfig()
+	m, p := startProc(t, u, "evo1", "srv", cfg)
+	var refs []*Ref
+	for _, name := range []string{"C1", "C2", "C3"} {
+		h, err := p.Create(name, &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, u.ExternalRef(h.URI()))
+	}
+	for i, ref := range refs {
+		for k := 0; k <= i; k++ {
+			callInt(t, ref, "Add", 10)
+		}
+	}
+	p.Crash()
+	p2, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for i, ref := range refs {
+		if got := callInt(t, ref, "Get"); got != (i+1)*10 {
+			t.Errorf("C%d = %d, want %d", i+1, got, (i+1)*10)
+		}
+	}
+	if got := p2.Components(); len(got) != 3 {
+		t.Errorf("components after recovery = %v", got)
+	}
+}
+
+func TestStatelessComponentsRestoredAfterCrash(t *testing.T) {
+	// Functional/read-only components have creation records so a
+	// restarted process hosts them again, with their configuration
+	// fields intact.
+	u := newTestUniverse(t)
+	cfg := testConfig()
+	m, p := startProc(t, u, "evo1", "srv", cfg)
+	if _, err := p.Create("Pure", &Pure{}, WithType(msg.Functional)); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := p.Create("Counter", &Counter{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Create("Prober", &Prober{Server: NewRef(hs.URI())}, WithType(msg.ReadOnly)); err != nil {
+		t.Fatal(err)
+	}
+	p.Crash()
+	p2, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	pure := u.ExternalRef(MakeURIForTest("evo1", "srv", "Pure"))
+	if got := callInt(t, pure, "Double", 21); got != 42 {
+		t.Errorf("functional after crash: %d", got)
+	}
+	prober := u.ExternalRef(MakeURIForTest("evo1", "srv", "Prober"))
+	if got := callInt(t, prober, "Probe"); got != 5 {
+		t.Errorf("read-only after crash: %d (its Server ref must be restored)", got)
+	}
+}
+
+func TestOutgoingSeqContinuesAfterRecovery(t *testing.T) {
+	// The restarted context re-derives its call IDs: old ones during
+	// replay, fresh ones after — the server must never see a stale or
+	// reused sequence number.
+	u := newTestUniverse(t)
+	cfg := testConfig()
+	ma, pa := startProc(t, u, "evo1", "cli", cfg)
+	_, pb := startProc(t, u, "evo2", "srv", cfg)
+	defer pb.Close()
+	hc, _ := pb.Create("Counter", &Counter{})
+	hr, _ := pa.Create("Relay", &Relay{Server: NewRef(hc.URI())})
+	ref := u.ExternalRef(hr.URI())
+	for i := 1; i <= 3; i++ {
+		callInt(t, ref, "Forward", 1)
+	}
+	pa.Crash()
+	pa2, err := ma.StartProcess("cli", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa2.Close()
+	for i := 4; i <= 6; i++ {
+		if got := callInt(t, ref, "Forward", 1); got != i {
+			t.Errorf("Forward %d -> %d", i, got)
+		}
+	}
+}
+
+func TestAttachmentOmittedWhenServerKnown(t *testing.T) {
+	// Section 5.2.3: once the client knows the server's type, the
+	// server omits the reply attachment.
+	u := newTestUniverse(t)
+	cfg := testConfig()
+	_, pa := startProc(t, u, "evo1", "cli", cfg)
+	_, pb := startProc(t, u, "evo2", "srv", cfg)
+	defer pa.Close()
+	defer pb.Close()
+	hc, _ := pb.Create("Counter", &Counter{})
+	hr, _ := pa.Create("Relay", &Relay{Server: NewRef(hc.URI())})
+	ref := u.ExternalRef(hr.URI())
+	callInt(t, ref, "Forward", 1)
+	// After the first call the relay's remote table knows the server.
+	ctype, _, known := pa.remoteTypes.lookup(hc.URI(), "Add")
+	if !known || ctype != msg.Persistent {
+		t.Errorf("remote table after first call: %v %v", ctype, known)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.retryInterval() != defaultRetryInterval {
+		t.Errorf("retryInterval = %v", c.retryInterval())
+	}
+	if c.retryLimit() != defaultRetryLimit {
+		t.Errorf("retryLimit = %v", c.retryLimit())
+	}
+	c = Config{RetryInterval: time.Second, RetryLimit: 3}
+	if c.retryInterval() != time.Second || c.retryLimit() != 3 {
+		t.Error("explicit retry settings ignored")
+	}
+	if LogBaseline.String() != "baseline" || LogOptimized.String() != "optimized" {
+		t.Error("LogMode.String broken")
+	}
+}
+
+func TestRecoverContextValidation(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	if err := p.RecoverContext("Ghost"); err == nil {
+		t.Error("RecoverContext of unknown component succeeded")
+	}
+}
+
+func TestCheckpointOnCrashedProcessErrors(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	p.Crash()
+	if err := p.Checkpoint(); err == nil {
+		t.Error("Checkpoint on crashed process succeeded")
+	}
+}
+
+func TestDropSubordinate(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	h, err := p.Create("Parent", &Parent{}, WithSubordinate("vault", &Vault{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := h.Ctx()
+	if subs := cx.Subordinates(); len(subs) != 1 || subs[0] != "vault" {
+		t.Errorf("Subordinates = %v", subs)
+	}
+	sub, ok := cx.Subordinate("vault")
+	if !ok || sub.Name() != "vault" {
+		t.Fatalf("Subordinate lookup failed")
+	}
+	if sub.PhoenixLocalID() == 0 {
+		t.Error("subordinate has zero ID")
+	}
+	cx.DropSubordinate("vault")
+	if _, ok := cx.Subordinate("vault"); ok {
+		t.Error("dropped subordinate still present")
+	}
+	cx.DropSubordinate("vault") // idempotent
+}
+
+func TestHandleAccessors(t *testing.T) {
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	obj := &Counter{N: 1}
+	h, err := p.Create("C", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Object() != any(obj) {
+		t.Error("Object() lost instance")
+	}
+	if h.Ctx().URI() != h.URI() {
+		t.Error("Ctx URI mismatch")
+	}
+	ref := u.ExternalRef(h.URI())
+	if ref.Target() != h.URI() || ref.PhoenixURI() != h.URI() {
+		t.Error("ref URI accessors broken")
+	}
+}
+
+func TestMixedModeProcesses(t *testing.T) {
+	// A baseline-mode client against an optimized-mode server: the
+	// disciplines are per-process and interoperate.
+	u := newTestUniverse(t)
+	cfgBase := testConfig()
+	cfgBase.LogMode = LogBaseline
+	cfgOpt := testConfig()
+	_, pa := startProc(t, u, "evo1", "cli", cfgBase)
+	_, pb := startProc(t, u, "evo2", "srv", cfgOpt)
+	defer pa.Close()
+	defer pb.Close()
+	hc, _ := pb.Create("Counter", &Counter{})
+	hr, _ := pa.Create("Relay", &Relay{Server: NewRef(hc.URI())})
+	ref := u.ExternalRef(hr.URI())
+	for i := 1; i <= 3; i++ {
+		if got := callInt(t, ref, "Forward", 1); got != i {
+			t.Errorf("Forward -> %d, want %d", got, i)
+		}
+	}
+}

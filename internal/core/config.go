@@ -1,0 +1,112 @@
+// Package core implements the Phoenix/App runtime: persistent stateful
+// components whose interactions are transparently intercepted, logged
+// to a process-local recovery log, and replayed after a failure to
+// reconstruct component state with exactly-once semantics.
+//
+// It is the paper's primary contribution: the baseline force-everything
+// logging of the IDEAS-2003 prototype (Algorithm 1), the optimized
+// logging disciplines of Section 3 (Algorithms 2-5 and the Section 3.5
+// multi-call optimization), the specialized component types
+// (subordinate, functional, read-only) and read-only methods, and the
+// checkpointing and two-pass recovery of Section 4.
+package core
+
+import (
+	"time"
+)
+
+// LogMode selects the logging discipline for persistent components.
+type LogMode int
+
+const (
+	// LogBaseline is the first prototype's Algorithm 1: every message
+	// (1-4) is logged in full and the log is forced immediately.
+	LogBaseline LogMode = iota
+	// LogOptimized is Section 3.1: receive messages are logged without
+	// forcing, send messages are not written at all (they are
+	// recreated by replay) but force all previous records, and
+	// external-client interactions use Algorithm 3's long/short
+	// records.
+	LogOptimized
+)
+
+// String names the mode as the paper does.
+func (m LogMode) String() string {
+	if m == LogBaseline {
+		return "baseline"
+	}
+	return "optimized"
+}
+
+// Config are the per-process runtime switches. The zero value is the
+// baseline system with no checkpointing — the paper's first prototype.
+// "In our new prototype, log optimizations and checkpointing can all be
+// turned on or off via switches" (Section 5).
+type Config struct {
+	// LogMode selects baseline (Algorithm 1) or optimized (Section 3.1)
+	// logging for persistent components.
+	LogMode LogMode
+	// SpecializedTypes honors the Section 3.2/3.3 component and method
+	// types: subordinate co-location is structural and always applies,
+	// but the functional/read-only logging eliminations (Algorithms 4
+	// and 5) and read-only method treatment take effect only when this
+	// switch is on.
+	SpecializedTypes bool
+	// MultiCall enables the Section 3.5 multi-call optimization: an
+	// outgoing call to a persistent server that has not yet been
+	// invoked during the current method execution does not force the
+	// log; the force happens at the component's own reply, or on a
+	// second call to the same server.
+	MultiCall bool
+
+	// SaveStateEvery makes a context save a state record after every
+	// N-th incoming call it finishes (0 disables; Section 4.2).
+	SaveStateEvery int
+	// CheckpointEvery makes the process take a process checkpoint
+	// after every N-th incoming call it serves (0 disables;
+	// Section 4.3).
+	CheckpointEvery int
+	// AutoTrimLog reclaims dead log segments whenever a process
+	// checkpoint becomes durable: everything before the oldest restart
+	// LSN / last-call reply record is deleted. The paper's
+	// checkpointing bounds recovery time; trimming bounds log space.
+	AutoTrimLog bool
+
+	// RetryInterval is how long a client interceptor waits before
+	// repeating an outgoing call whose server failed (condition 4:
+	// "waits for a while and retries the call using the same method
+	// call ID"). Defaults to 50ms.
+	RetryInterval time.Duration
+	// RetryLimit bounds the repeats before the call is abandoned with
+	// an error. The paper retries forever; tests need an exit.
+	// Defaults to 600.
+	RetryLimit int
+
+	// Injector, when set, crashes the process at named interception
+	// points to drive the Figure 2 failure experiments.
+	Injector *Injector
+
+	// OnEvent, when set, observes runtime lifecycle events (crashes,
+	// recovery, checkpoints, retries, log trims). The callback may run
+	// with runtime locks held and must not call back into the runtime.
+	OnEvent func(Event)
+}
+
+const (
+	defaultRetryInterval = 50 * time.Millisecond
+	defaultRetryLimit    = 600
+)
+
+func (c Config) retryInterval() time.Duration {
+	if c.RetryInterval > 0 {
+		return c.RetryInterval
+	}
+	return defaultRetryInterval
+}
+
+func (c Config) retryLimit() int {
+	if c.RetryLimit > 0 {
+		return c.RetryLimit
+	}
+	return defaultRetryLimit
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ids"
+	"repro/internal/serial"
+	"repro/internal/wal"
+)
+
+// DumpLog renders a process recovery log human-readably, one line per
+// record — the operational tool for inspecting what a process logged
+// and what recovery would replay. It opens the log read-only in the
+// sense that it appends nothing; the log must not be concurrently
+// owned by a live process.
+func DumpLog(w io.Writer, dir string) error {
+	log, err := wal.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	fmt.Fprintf(w, "log %s: LSNs %v..%v\n", dir, log.Start(), log.End())
+	if wk, err := wal.LoadWellKnownLSN(dir + ".wk"); err == nil {
+		fmt.Fprintf(w, "well-known checkpoint LSN: %v\n", wk)
+	}
+
+	return log.Scan(ids.NilLSN, func(rec wal.Record) error {
+		fmt.Fprintf(w, "%-12v %-14s %5dB  ", rec.LSN, recName(rec.Type), len(rec.Payload))
+		if err := dumpPayload(w, rec); err != nil {
+			fmt.Fprintf(w, "<undecodable: %v>", err)
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+}
+
+func dumpPayload(w io.Writer, rec wal.Record) error {
+	switch rec.Type {
+	case recCreation:
+		var v creationRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d uri=%s comps=%d", v.Ctx, v.URI, len(v.Comps))
+		for _, c := range v.Comps {
+			fmt.Fprintf(w, " [%d %s %s %s]", c.ID, c.Name, c.Type, c.GoType)
+		}
+	case recIncoming:
+		var v incomingRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		caller := "external"
+		if !v.Call.ID.IsZero() {
+			caller = v.Call.ID.String()
+		}
+		fmt.Fprintf(w, "ctx=%d %s.%s from %s (%s)",
+			v.Ctx, v.Call.Target, v.Call.Method, caller, v.Call.CallerType)
+	case recReplySent:
+		var v replySentRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d call=%v (short record: sent marker only)", v.Ctx, v.CallID)
+	case recReplyContent:
+		var v replyContentRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d call=%v results=%dB appErr=%q",
+			v.Ctx, v.CallID, len(v.Reply.Results), v.Reply.AppErr)
+	case recOutgoing:
+		var v outgoingRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d -> %s.%s seq=%d", v.Ctx, v.Call.Target, v.Call.Method, v.Call.ID.Seq)
+	case recOutgoingReply:
+		var v outgoingReplyRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d seq=%d results=%dB appErr=%q",
+			v.Ctx, v.Seq, len(v.Reply.Results), v.Reply.AppErr)
+	case recCtxState:
+		var v ctxStateRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ctx=%d uri=%s comps=%d lastOutSeq=%d lastCalls=%d",
+			v.Ctx, v.URI, len(v.Comps), v.LastOutSeq, len(v.LastCalls))
+		for _, c := range v.Comps {
+			st, err := serial.DecodeState(c.State)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " [%s: %d fields]", c.Name, len(st.Fields))
+		}
+	case recBeginCkpt:
+		fmt.Fprint(w, "begin process checkpoint")
+	case recCkptCtxTable:
+		var v ckptCtxTableRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "context table: %d entries", len(v.Entries))
+		for _, e := range v.Entries {
+			fmt.Fprintf(w, " [ctx=%d restart=%v]", e.Ctx, e.RestartLSN)
+		}
+	case recCkptLastCall:
+		var v ckptLastCallRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "last call table: %d entries", len(v.Entries))
+	case recEndCkpt:
+		var v endCkptRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "end process checkpoint (begin=%v)", v.BeginLSN)
+	default:
+		fmt.Fprintf(w, "unknown record type %d", rec.Type)
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+package core
+
+import "repro/internal/rpc"
+
+// encodeArgsHelper lets white-box tests build wire calls.
+func encodeArgsHelper(args ...any) ([]byte, int, error) {
+	return rpc.EncodeArgs(args...)
+}

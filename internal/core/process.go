@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/rpc"
+	"repro/internal/wal"
+)
+
+// Process is a virtual process hosting Phoenix/App contexts. It owns
+// the per-process runtime structures of paper Figure 7: the context,
+// component, remote component and last call tables, a log manager over
+// a process-local log file, and a recovery manager (the recover method
+// in recovery.go).
+type Process struct {
+	u      *Universe
+	m      *Machine
+	name   string
+	procID ids.ProcID
+	cfg    Config
+	addr   string
+
+	log     *wal.Log
+	logPath string
+	wkPath  string
+
+	mu         sync.Mutex
+	contexts   map[ids.CompID]*Context
+	byName     map[string]*Context // parent component name -> context
+	components map[ids.CompID]*component
+	nextCompID uint32
+
+	lastCalls   *lastCallTable
+	remoteTypes *remoteTypeTable
+
+	incomingCalls atomic.Int64 // served incoming calls (checkpoint policy)
+	replayedCalls atomic.Int64 // calls re-executed by recovery
+	crashed       atomic.Bool
+	recovered     bool
+	listening     atomic.Bool
+
+	// recoveryDone is closed once startup (including any recovery) has
+	// finished; calls that race ahead of context restoration wait on it
+	// instead of faulting with "no component".
+	recoveryDone     chan struct{}
+	recoveryDoneOnce sync.Once
+
+	// pendingCkpt is the begin-LSN of a checkpoint written but not yet
+	// covered by a force; the first force past it writes the
+	// well-known file (Section 4.3). lastWK is the last LSN recorded
+	// there — recovery scans from it, so log trimming must keep it.
+	ckptMu      sync.Mutex
+	pendingCkpt ids.LSN
+	lastWK      ids.LSN
+}
+
+// component is one row of the component table (paper Table 1).
+type component struct {
+	id        ids.CompID
+	name      string
+	obj       any
+	disp      *rpc.Dispatcher
+	ctype     msg.ComponentType
+	roMethods map[string]bool
+	ctx       *Context
+}
+
+func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Process, error) {
+	model := disk.Model(disk.HostModel{})
+	if m.u.cfg.DiskModel != nil {
+		model = m.u.cfg.DiskModel(m.name, name)
+	}
+	logPath := filepath.Join(m.dir, name+".log")
+	log, err := wal.Open(logPath, model)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		u:            m.u,
+		m:            m,
+		name:         name,
+		procID:       procID,
+		cfg:          cfg,
+		addr:         m.u.addrFor(m.name, name),
+		log:          log,
+		logPath:      logPath,
+		wkPath:       filepath.Join(m.dir, name+".wk"),
+		contexts:     make(map[ids.CompID]*Context),
+		byName:       make(map[string]*Context),
+		components:   make(map[ids.CompID]*component),
+		nextCompID:   1,
+		lastCalls:    newLastCallTable(),
+		remoteTypes:  newRemoteTypeTable(),
+		recoveryDone: make(chan struct{}),
+	}
+	if cfg.Injector != nil {
+		cfg.Injector.bind(p)
+	}
+	return p, nil
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// ProcID returns the stable logical process ID.
+func (p *Process) ProcID() ids.ProcID { return p.procID }
+
+// Machine returns the hosting machine.
+func (p *Process) Machine() *Machine { return p.m }
+
+// Config returns the process's runtime switches.
+func (p *Process) Config() Config { return p.cfg }
+
+// Recovered reports whether this process instance performed recovery
+// at start (i.e. it is a restart of a crashed process).
+func (p *Process) Recovered() bool { return p.recovered }
+
+// LogStats exposes the log activity counters (forces per experiment,
+// Table 8's "Number of Forces").
+func (p *Process) LogStats() wal.Stats { return p.log.Stats() }
+
+// LogDir returns the process's recovery-log directory (for
+// phoenix-logdump and operational tooling).
+func (p *Process) LogDir() string { return p.logPath }
+
+// ResetLogStats zeroes the log counters between experiment phases.
+func (p *Process) ResetLogStats() { p.log.ResetStats() }
+
+// SetLogSegmentBytes overrides the log's segment roll-over threshold
+// (small values let tests and space-bounded deployments trim eagerly).
+func (p *Process) SetLogSegmentBytes(n int64) { p.log.SetSegmentBytes(n) }
+
+func (p *Process) listen() error {
+	if err := p.u.cfg.Net.Listen(p.addr, p.handleRequest); err != nil {
+		return err
+	}
+	p.listening.Store(true)
+	return nil
+}
+
+// CreateOption configures component creation.
+type CreateOption func(*createOpts)
+
+type createOpts struct {
+	ctype     msg.ComponentType
+	roMethods []string
+	subs      []subSpec
+}
+
+type subSpec struct {
+	name string
+	obj  any
+}
+
+// WithType sets the component type (default Persistent).
+func WithType(t msg.ComponentType) CreateOption {
+	return func(o *createOpts) { o.ctype = t }
+}
+
+// WithReadOnlyMethods declares the Section 3.3 read-only attribute on
+// the named methods: they neither change component fields nor make
+// non-read-only outgoing calls, and are logged per Algorithm 5.
+func WithReadOnlyMethods(names ...string) CreateOption {
+	return func(o *createOpts) { o.roMethods = append(o.roMethods, names...) }
+}
+
+// WithSubordinate co-locates a subordinate component in the new
+// context (Section 3.2.1). Subordinates only serve calls from their
+// parent and sibling subordinates; those calls cross no context
+// boundary and are neither intercepted nor logged.
+func WithSubordinate(name string, obj any) CreateOption {
+	return func(o *createOpts) { o.subs = append(o.subs, subSpec{name: name, obj: obj}) }
+}
+
+// Create hosts a component in a new context of this process and logs
+// its creation record (with post-construction field state, so recovery
+// re-instantiates without replaying construction). The component object
+// must be a pointer to a struct; its exported fields are its
+// recoverable state.
+func (p *Process) Create(name string, obj any, opts ...CreateOption) (*Handle, error) {
+	if p.crashed.Load() {
+		return nil, fmt.Errorf("core: process %s has crashed", p.name)
+	}
+	if err := validateName("component", name); err != nil {
+		return nil, err
+	}
+	o := createOpts{ctype: msg.Persistent}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ctype == msg.Subordinate {
+		return nil, fmt.Errorf("core: subordinates are created via WithSubordinate or Ctx.CreateSubordinate, not Create")
+	}
+	p.mu.Lock()
+	if _, ok := p.byName[name]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: component %q already exists in process %s", name, p.name)
+	}
+	p.mu.Unlock()
+
+	parent, err := p.newComponent(name, obj, o.ctype, o.roMethods)
+	if err != nil {
+		return nil, err
+	}
+	cx := &Context{
+		p:        p,
+		parent:   parent,
+		uri:      ids.MakeURI(p.m.name, p.name, name),
+		subs:     make(map[string]*component),
+		subsByID: make(map[ids.CompID]*component),
+	}
+	parent.ctx = cx
+	cx.ready = make(chan struct{})
+	close(cx.ready)
+	bindRefs(cx, obj)
+	for _, ss := range o.subs {
+		if _, err := cx.addSubordinate(ss.name, ss.obj); err != nil {
+			return nil, err
+		}
+	}
+
+	// Log and force the creation record: the context's replay starting
+	// point when no state record exists, and what recovery uses to
+	// re-instantiate the components ("recovers the process tables,
+	// contexts and components", Section 4.1). Stateless components get
+	// one too — no messages are ever logged at them, but recovery
+	// still reconstructs the component itself.
+	rec, err := cx.creationRecord()
+	if err != nil {
+		return nil, err
+	}
+	lsn, err := p.appendRec(recCreation, rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.force(); err != nil {
+		return nil, err
+	}
+	cx.creationLSN = lsn
+	cx.restartLSN = lsn
+
+	p.mu.Lock()
+	if _, ok := p.byName[name]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: component %q already exists in process %s", name, p.name)
+	}
+	p.contexts[parent.id] = cx
+	p.byName[name] = cx
+	p.mu.Unlock()
+
+	if aware, ok := parent.obj.(ContextAware); ok {
+		aware.AttachContext(&Ctx{cx: cx})
+	}
+	return &Handle{cx: cx}, nil
+}
+
+// newComponent allocates a component table entry.
+func (p *Process) newComponent(name string, obj any, ctype msg.ComponentType, roMethods []string) (*component, error) {
+	disp, err := rpc.NewDispatcher(obj)
+	if err != nil {
+		return nil, err
+	}
+	ro := make(map[string]bool, len(roMethods))
+	for _, m := range roMethods {
+		if _, ok := disp.Method(m); !ok {
+			return nil, fmt.Errorf("core: read-only method %q not found on %T", m, obj)
+		}
+		ro[m] = true
+	}
+	RegisterComponentType(obj)
+	p.mu.Lock()
+	c := &component{
+		id:        ids.CompID(p.nextCompID),
+		name:      name,
+		obj:       obj,
+		disp:      disp,
+		ctype:     ctype,
+		roMethods: ro,
+	}
+	p.nextCompID++
+	p.components[c.id] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
+// Lookup returns the handle of a hosted component (after recovery, the
+// way an application reattaches to its components).
+func (p *Process) Lookup(name string) (*Handle, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cx, ok := p.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &Handle{cx: cx}, true
+}
+
+// Components lists hosted parent component names, sorted.
+func (p *Process) Components() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.byName))
+	for n := range p.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// force forces the log and, if a process checkpoint became durable as a
+// side effect, records its LSN in the well-known file (Section 4.3:
+// "Once a process checkpoint has been flushed to the log (possibly by a
+// later send message), the log manager writes and forces the LSN of the
+// begin checkpoint record into a well-known file").
+func (p *Process) force() error {
+	if err := p.log.Force(); err != nil {
+		return err
+	}
+	p.ckptMu.Lock()
+	pending := p.pendingCkpt
+	p.pendingCkpt = ids.NilLSN
+	p.ckptMu.Unlock()
+	if !pending.IsNil() {
+		if err := wal.SaveWellKnownLSN(p.wkPath, pending); err != nil {
+			return err
+		}
+		p.ckptMu.Lock()
+		p.lastWK = pending
+		p.ckptMu.Unlock()
+		if p.cfg.AutoTrimLog {
+			if err := p.TrimLog(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TrimLog reclaims the dead log prefix: everything before the oldest
+// position recovery could still need — the minimum over every
+// context's restart LSN, every last-call entry's reply LSN, and the
+// well-known checkpoint LSN. Whole dead segments are deleted. With
+// Config.AutoTrimLog it runs automatically whenever a process
+// checkpoint becomes durable.
+func (p *Process) TrimLog() error {
+	keep := p.reclaimPoint()
+	if keep.IsNil() {
+		return nil
+	}
+	before := p.log.Stats().TrimmedBytes
+	if err := p.log.TrimHead(keep); err != nil {
+		return err
+	}
+	if got := p.log.Stats().TrimmedBytes - before; got > 0 {
+		p.emit(EventTrim, "", "reclaimed %d bytes up to %v", got, keep)
+	}
+	return nil
+}
+
+func (p *Process) reclaimPoint() ids.LSN {
+	p.ckptMu.Lock()
+	min := p.lastWK
+	p.ckptMu.Unlock()
+	if min.IsNil() {
+		// No durable checkpoint yet: recovery scans from the start.
+		return ids.NilLSN
+	}
+	p.mu.Lock()
+	for _, cx := range p.contexts {
+		if !cx.restartLSN.IsNil() && cx.restartLSN < min {
+			min = cx.restartLSN
+		}
+	}
+	p.mu.Unlock()
+	if lct := p.lastCalls.minReplyLSN(); !lct.IsNil() && lct < min {
+		min = lct
+	}
+	return min
+}
+
+// appendRec encodes and appends a typed record.
+func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
+	payload, err := encodeRec(v)
+	if err != nil {
+		return ids.NilLSN, err
+	}
+	return p.log.Append(t, payload)
+}
+
+// markStarted opens the process for component lookups (startup,
+// including any recovery, is complete — or the process is going away
+// and waiters must not hang).
+func (p *Process) markStarted() {
+	p.recoveryDoneOnce.Do(func() { close(p.recoveryDone) })
+}
+
+// Crash fail-stops the process: the transport address goes silent, the
+// log buffer (everything not yet forced) is lost, and all in-memory
+// runtime state is abandoned. The machine's recovery service is
+// notified, which restarts the process if auto-restart is enabled.
+func (p *Process) Crash() {
+	if !p.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	p.u.cfg.Net.Unlisten(p.addr)
+	p.listening.Store(false)
+	p.log.Discard()
+	p.markStarted() // release any waiters; they will see the crash
+	p.emit(EventCrash, "", "")
+	p.m.svc.NotifyCrash(p.name)
+}
+
+// shutdown releases resources without simulating a crash (clean exit
+// for error paths; unforced data is written out).
+func (p *Process) shutdown() {
+	p.u.cfg.Net.Unlisten(p.addr)
+	p.listening.Store(false)
+	p.markStarted()
+	p.log.Close()
+}
+
+// Close cleanly stops the process (tests and examples; a clean close is
+// indistinguishable from a crash to the recovery protocol, except that
+// no buffered log data is lost).
+func (p *Process) Close() {
+	if p.crashed.CompareAndSwap(false, true) {
+		p.u.cfg.Net.Unlisten(p.addr)
+		p.listening.Store(false)
+		p.markStarted()
+		p.log.Close()
+	}
+}
+
+// Crashed reports whether the process has failed or been closed.
+func (p *Process) Crashed() bool { return p.crashed.Load() }
+
+// validateName rejects names that would corrupt component URIs
+// (phoenix://machine/process/component) or on-disk paths.
+func validateName(kind, name string) error {
+	if name == "" {
+		return fmt.Errorf("core: %s name must not be empty", kind)
+	}
+	if strings.ContainsAny(name, "/\\ \t\n") {
+		return fmt.Errorf("core: %s name %q must not contain separators or whitespace", kind, name)
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("core: %s name %q is reserved", kind, name)
+	}
+	return nil
+}
+
+// crashSignal is panicked through the stack when failure injection (or
+// a mid-call Crash) tears the process down; interception boundaries
+// recover it and turn it into an unavailability error.
+type crashSignal struct{ proc string }
+
+// checkAlive panics with crashSignal if the process has crashed, so
+// in-flight executions unwind instead of externalizing results.
+func (p *Process) checkAlive() {
+	if p.crashed.Load() {
+		panic(crashSignal{proc: p.name})
+	}
+}

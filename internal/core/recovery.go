@@ -1,0 +1,457 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/rpc"
+	"repro/internal/serial"
+	"repro/internal/wal"
+)
+
+// This file is the recovery manager of paper Section 4.4.
+//
+// Process crash recovery runs in two passes over the log. Pass 1 scans
+// from the well-known checkpoint LSN (or the log start) to the end,
+// finding every context that existed at the crash and the LSN of its
+// latest state record (or creation record); contexts are then restored
+// from those records. Pass 2 scans from the minimum restart LSN,
+// buffering the message records of each context until the next incoming
+// call record arrives, at which point the previous incoming call is
+// replayed with its outgoing calls answered from the buffer; the final
+// buffered calls are replayed at the end of the scan, where a missing
+// outgoing reply switches the context back to live execution. The last
+// call table is rebuilt along the way — LSNs only; reply bodies are
+// fetched from the log when a duplicate call actually needs them.
+
+// recover restores the process from its log. It runs before the
+// process starts listening, so no concurrent calls arrive.
+func (p *Process) recover() error {
+	if p.log.End() == p.log.Start() {
+		return nil // registered before, but nothing was ever logged
+	}
+
+	start := p.log.Start()
+	if wk, err := wal.LoadWellKnownLSN(p.wkPath); err == nil {
+		start = wk
+	} else if !errors.Is(err, wal.ErrNoWellKnown) {
+		return err
+	}
+	p.emit(EventRecoveryStart, "", "scanning from %v", start)
+
+	// ---- Pass 1: find contexts and their restart LSNs. ----
+	restart := make(map[ids.CompID]ids.LSN)
+	err := p.log.Scan(start, func(rec wal.Record) error {
+		switch rec.Type {
+		case recCreation:
+			// Process checkpoints re-emit creation records for
+			// stateless contexts so log trimming can advance past the
+			// original; like state records, the newest wins.
+			var cr creationRec
+			if err := decodeRec(rec.Payload, &cr); err != nil {
+				return err
+			}
+			if rec.LSN > restart[cr.Ctx] {
+				restart[cr.Ctx] = rec.LSN
+			}
+		case recCtxState:
+			var sr ctxStateRec
+			if err := decodeRec(rec.Payload, &sr); err != nil {
+				return err
+			}
+			if rec.LSN > restart[sr.Ctx] {
+				restart[sr.Ctx] = rec.LSN
+			}
+		case recCkptCtxTable:
+			var ct ckptCtxTableRec
+			if err := decodeRec(rec.Payload, &ct); err != nil {
+				return err
+			}
+			for _, e := range ct.Entries {
+				if e.RestartLSN > restart[e.Ctx] {
+					restart[e.Ctx] = e.RestartLSN
+				}
+			}
+		case recCkptLastCall:
+			var lc ckptLastCallRec
+			if err := decodeRec(rec.Payload, &lc); err != nil {
+				return err
+			}
+			for _, e := range lc.Entries {
+				p.lastCalls.seed(e)
+			}
+		case recIncoming:
+			var ir incomingRec
+			if err := decodeRec(rec.Payload, &ir); err != nil {
+				return err
+			}
+			if !ir.Call.ID.IsZero() {
+				p.lastCalls.seed(lastCallSaved{
+					Caller: ir.Call.ID.Caller, Seq: ir.Call.ID.Seq, Ctx: ir.Ctx,
+				})
+			}
+		case recReplyContent:
+			var rc replyContentRec
+			if err := decodeRec(rec.Payload, &rc); err != nil {
+				return err
+			}
+			if !rc.CallID.IsZero() {
+				p.lastCalls.seed(lastCallSaved{
+					Caller: rc.CallID.Caller, Seq: rc.CallID.Seq,
+					ReplyLSN: rec.LSN, Ctx: rc.Ctx,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("recovery pass 1: %w", err)
+	}
+	if len(restart) == 0 {
+		p.recovered = true
+		return nil
+	}
+
+	// Restore every context from its restart record.
+	minLSN := ids.LSN(0)
+	restored := make([]*Context, 0, len(restart))
+	for id, lsn := range restart {
+		cx, err := p.restoreContext(lsn)
+		if err != nil {
+			return fmt.Errorf("restore context %d: %w", id, err)
+		}
+		restored = append(restored, cx)
+		if minLSN.IsNil() || lsn < minLSN {
+			minLSN = lsn
+		}
+	}
+
+	// ---- Pass 2: replay incoming calls per context. ----
+	if err := p.replayFrom(minLSN, nil); err != nil {
+		return fmt.Errorf("recovery pass 2: %w", err)
+	}
+	// Contexts with no tail call to replay become available now.
+	for _, cx := range restored {
+		cx.markReady()
+	}
+	p.recovered = true
+	p.emit(EventRecoveryDone, "", "%d contexts restored, %d calls replayed",
+		len(restored), p.replayedCalls.Load())
+	return nil
+}
+
+// restoreContext reads the creation or state record at lsn and rebuilds
+// the context: fresh component instances via the type registry, field
+// state via the serial package, component references re-resolved.
+func (p *Process) restoreContext(lsn ids.LSN) (*Context, error) {
+	rec, err := p.log.Read(lsn)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		ctxID      ids.CompID
+		uri        ids.URI
+		comps      []compRecord
+		lastOutSeq uint64
+		subCounter uint32
+		lastCalls  []lastCallSaved
+	)
+	switch rec.Type {
+	case recCreation:
+		var cr creationRec
+		if err := decodeRec(rec.Payload, &cr); err != nil {
+			return nil, err
+		}
+		ctxID, uri, comps = cr.Ctx, cr.URI, cr.Comps
+		subCounter = uint32(len(cr.Comps) - 1)
+	case recCtxState:
+		var sr ctxStateRec
+		if err := decodeRec(rec.Payload, &sr); err != nil {
+			return nil, err
+		}
+		ctxID, uri, comps = sr.Ctx, sr.URI, sr.Comps
+		lastOutSeq, subCounter, lastCalls = sr.LastOutSeq, sr.SubCounter, sr.LastCalls
+	default:
+		return nil, fmt.Errorf("core: restart LSN %v holds a %s record", lsn, recName(rec.Type))
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("core: record at %v has no components", lsn)
+	}
+
+	cx := &Context{
+		p:          p,
+		uri:        uri,
+		subs:       make(map[string]*component),
+		subsByID:   make(map[ids.CompID]*component),
+		lastOutSeq: lastOutSeq,
+		subCounter: subCounter,
+		restartLSN: lsn,
+		ready:      make(chan struct{}),
+	}
+	// First materialize instances so local references resolve.
+	built := make([]*component, len(comps))
+	for i, cr := range comps {
+		obj, err := newComponentInstance(cr.GoType)
+		if err != nil {
+			return nil, err
+		}
+		disp, err := rpc.NewDispatcher(obj)
+		if err != nil {
+			return nil, err
+		}
+		ro := make(map[string]bool, len(cr.ROMethods))
+		for _, m := range cr.ROMethods {
+			ro[m] = true
+		}
+		c := &component{
+			id: cr.ID, name: cr.Name, obj: obj, disp: disp,
+			ctype: cr.Type, roMethods: ro, ctx: cx,
+		}
+		built[i] = c
+		if i == 0 {
+			cx.parent = c
+		} else {
+			cx.subs[c.name] = c
+			cx.subsByID[c.id] = c
+		}
+	}
+	// Then restore field states, resolving component references.
+	res := &ctxResolver{cx: cx}
+	for i, cr := range comps {
+		st, err := serial.DecodeState(cr.State)
+		if err != nil {
+			return nil, err
+		}
+		if err := serial.Restore(built[i].obj, st, res); err != nil {
+			return nil, fmt.Errorf("restore %s: %w", cr.Name, err)
+		}
+	}
+	for _, e := range lastCalls {
+		p.lastCalls.seed(e)
+	}
+
+	_, _, compName, err := uri.Split()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.contexts[ctxID] = cx
+	p.byName[compName] = cx
+	for _, c := range built {
+		p.components[c.id] = c
+	}
+	if uint32(ctxID) >= p.nextCompID {
+		p.nextCompID = uint32(ctxID) + 1
+	}
+	p.mu.Unlock()
+	cx.attachAware()
+	// Stateless contexts have no message records to replay; they are
+	// available as soon as their components are rebuilt.
+	if cx.parent.ctype.Stateless() {
+		cx.markReady()
+	}
+	return cx, nil
+}
+
+// ctxResolver re-obtains component references for restored fields:
+// remote references from their URIs (as live Refs owned by the
+// restored context), local references from subordinate component IDs.
+type ctxResolver struct {
+	cx *Context
+}
+
+func (r *ctxResolver) ResolveRemote(u ids.URI, fieldType reflect.Type) (any, error) {
+	ref := &Ref{u: r.cx.p.u, p: r.cx.p, owner: r.cx, target: u}
+	if !reflect.TypeOf(ref).AssignableTo(fieldType) {
+		return nil, fmt.Errorf("core: cannot restore remote ref into field of type %s", fieldType)
+	}
+	return ref, nil
+}
+
+func (r *ctxResolver) ResolveLocal(id ids.CompID, fieldType reflect.Type) (any, error) {
+	comp, ok := r.cx.subsByID[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no subordinate with ID %d in context %s", id, r.cx.uri)
+	}
+	l := &Local{comp: comp}
+	if !reflect.TypeOf(l).AssignableTo(fieldType) {
+		return nil, fmt.Errorf("core: cannot restore local ref into field of type %s", fieldType)
+	}
+	return l, nil
+}
+
+// replayFrom is pass 2: scan from lsn to the end of the log, replaying
+// incoming calls of the selected contexts (nil = all). Message records
+// older than a context's restart LSN are skipped ("If a message log
+// record occurs earlier than the latest state record of the same
+// context, it is ignored").
+func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
+	type ctxReplay struct {
+		pending    *incomingRec
+		pendingLSN ids.LSN
+		replies    map[uint64]*msg.Reply
+	}
+	states := make(map[ids.CompID]*ctxReplay)
+	get := func(id ids.CompID) *ctxReplay {
+		st, ok := states[id]
+		if !ok {
+			st = &ctxReplay{replies: make(map[uint64]*msg.Reply)}
+			states[id] = st
+		}
+		return st
+	}
+	ctxOf := func(id ids.CompID) *Context {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.contexts[id]
+	}
+	skip := func(id ids.CompID, lsn ids.LSN) bool {
+		if only != nil && !only[id] {
+			return true
+		}
+		cx := ctxOf(id)
+		if cx == nil {
+			return true // context no longer exists (stateless or dropped)
+		}
+		return lsn < cx.restartLSN
+	}
+
+	err := p.log.Scan(lsn, func(rec wal.Record) error {
+		switch rec.Type {
+		case recIncoming:
+			var ir incomingRec
+			if err := decodeRec(rec.Payload, &ir); err != nil {
+				return err
+			}
+			if skip(ir.Ctx, rec.LSN) {
+				return nil
+			}
+			st := get(ir.Ctx)
+			if st.pending != nil {
+				// All messages of the previous incoming call are now
+				// buffered: replay it.
+				if err := p.replayIncoming(ctxOf(ir.Ctx), st.pending, st.replies); err != nil {
+					return err
+				}
+			}
+			st.pending = &ir
+			st.pendingLSN = rec.LSN
+			st.replies = make(map[uint64]*msg.Reply)
+		case recOutgoingReply:
+			var or outgoingReplyRec
+			if err := decodeRec(rec.Payload, &or); err != nil {
+				return err
+			}
+			if skip(or.Ctx, rec.LSN) {
+				return nil
+			}
+			reply := or.Reply
+			get(or.Ctx).replies[or.Seq] = &reply
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// "After this pass, the recovery manager replays the remaining
+	// buffered method calls, which are the last incoming calls." They
+	// run in log order — the original arrival order — so that a tail
+	// replay which resumes live execution and calls another context of
+	// this same process finds that context already recovered (its log
+	// records necessarily precede the caller's tail; see the prefix
+	// argument: a logged later record implies the earlier reply record
+	// was also logged and the call would have been suppressed).
+	tails := make([]ids.CompID, 0, len(states))
+	for id, st := range states {
+		if st.pending != nil {
+			tails = append(tails, id)
+		}
+	}
+	for i := 0; i < len(tails); i++ {
+		for j := i + 1; j < len(tails); j++ {
+			if states[tails[j]].pendingLSN < states[tails[i]].pendingLSN {
+				tails[i], tails[j] = tails[j], tails[i]
+			}
+		}
+	}
+	for _, id := range tails {
+		st := states[id]
+		cx := ctxOf(id)
+		if err := p.replayIncoming(cx, st.pending, st.replies); err != nil {
+			return err
+		}
+		if cx != nil {
+			cx.markReady()
+		}
+	}
+	return nil
+}
+
+// replayIncoming re-executes one logged incoming call. Outgoing calls
+// are answered from replies when present; a missing reply means the
+// log ends inside this call, and execution continues live with the
+// same deterministically re-derived call IDs, so servers answer
+// repeats from their last call tables. The reply is not sent to the
+// caller (condition 5) — it lands in the last call table, where a
+// duplicate call will find it.
+func (p *Process) replayIncoming(cx *Context, ir *incomingRec, replies map[uint64]*msg.Reply) error {
+	if cx == nil {
+		return nil
+	}
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	cx.recovering = true
+	cx.replayReplies = replies
+	defer func() {
+		cx.recovering = false
+		cx.replayReplies = nil
+	}()
+
+	cx.beginExecution()
+	p.replayedCalls.Add(1)
+	call := &ir.Call
+	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
+	if err != nil {
+		return fmt.Errorf("replay %s.%s: %w", cx.uri, call.Method, err)
+	}
+	if !call.ID.IsZero() {
+		reply := &msg.Reply{ID: call.ID, Results: results, NumResults: numResults, AppErr: appErr}
+		p.lastCalls.putReplayed(call.ID.Caller, call.ID.Seq, reply, cx.parent.id)
+	}
+	return nil
+}
+
+// RecoverContext recovers a single failed context inside a live
+// process — the easier case at the end of Section 4.4: "The state
+// record LSN can be found in the context table and the state record
+// (or creation record) can be read from the log and the context
+// restored... Then the log after the state record is read and incoming
+// method calls for the context are replayed." The context must be
+// quiescent (its component "failed"; no calls in flight).
+func (p *Process) RecoverContext(name string) error {
+	p.mu.Lock()
+	old, ok := p.byName[name]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no component %q in process %s", name, p.name)
+	}
+	restart := func() ids.LSN {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return old.restartLSN
+	}()
+	if restart.IsNil() {
+		return fmt.Errorf("core: context %s has no restart record (stateless?)", old.uri)
+	}
+	cx, err := p.restoreContext(restart) // re-registers under the same name/ID
+	if err != nil {
+		return err
+	}
+	err = p.replayFrom(restart, map[ids.CompID]bool{cx.parent.id: true})
+	cx.markReady()
+	return err
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// handleRequest is the process's transport handler: it unmarshals a
+// call, routes it to the target context, and runs the server-side
+// interceptor. Infrastructure problems travel back as Reply.Fault (the
+// component is alive — no retry); a crash mid-call surfaces as a
+// transport error so the client's condition-4 loop redrives it.
+func (p *Process) handleRequest(req []byte) (resp []byte, err error) {
+	if p.crashed.Load() {
+		return nil, fmt.Errorf("%w: %s (crashed)", transport.ErrUnavailable, p.addr)
+	}
+	call, err := msg.DecodeCall(req)
+	if err != nil {
+		return nil, err
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				resp, err = nil, fmt.Errorf("%w: %s (crashed mid-call)", transport.ErrUnavailable, p.addr)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	reply := p.serveCall(call)
+	return msg.EncodeReply(reply)
+}
+
+func fault(id ids.CallID, format string, args ...any) *msg.Reply {
+	return &msg.Reply{ID: id, Fault: fmt.Sprintf(format, args...)}
+}
+
+// serveCall is the server-side message interceptor: duplicate
+// elimination (condition 3), message-1/2 logging per the active
+// discipline, single-threaded execution, last-call-table maintenance,
+// and checkpoint policy.
+func (p *Process) serveCall(call *msg.Call) *msg.Reply {
+	_, _, compName, err := call.Target.Split()
+	if err != nil {
+		return fault(call.ID, "bad target %q: %v", call.Target, err)
+	}
+	p.mu.Lock()
+	cx := p.byName[compName]
+	p.mu.Unlock()
+	if cx == nil {
+		// The component may still be on its way back: recovery
+		// restores contexts after the process starts listening. Wait
+		// for startup to finish before deciding the component does
+		// not exist.
+		<-p.recoveryDone
+		p.checkAlive()
+		p.mu.Lock()
+		cx = p.byName[compName]
+		p.mu.Unlock()
+		if cx == nil {
+			return fault(call.ID, "no component %q in process %s", compName, p.name)
+		}
+	}
+
+	external := call.ID.IsZero()
+	method, ok := cx.parent.disp.Method(call.Method)
+	if !ok {
+		return fault(call.ID, "component %q has no method %q", compName, call.Method)
+	}
+	_ = method
+
+	// Classify the interaction (Sections 3.2-3.3). Stateless servers
+	// (functional, read-only) log nothing and keep no last-call
+	// entries. Read-only methods on persistent components and calls
+	// from read-only clients are treated the same way when the
+	// specialized-types switch is on.
+	roMethodAttr := cx.parent.roMethods[call.Method]
+	// Hosted external-type components (plain .NET objects in the
+	// paper's Table 4 "native" rows) get interception but no logging
+	// and no guarantees, like stateless components.
+	serverStateless := cx.parent.ctype.Stateless() || cx.parent.ctype == msg.External
+	roTreatment := serverStateless ||
+		(p.cfg.SpecializedTypes && (roMethodAttr || call.CallerType == msg.ReadOnly))
+
+	// A context being recovered holds arrivals until replay completes.
+	<-cx.ready
+
+	// Single-threaded context: one incoming call at a time
+	// (Section 2.2). Everything — duplicate detection, logging,
+	// execution, reply bookkeeping — happens in execution order.
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	p.checkAlive()
+
+	// Condition 3: a persistent client's repeated call is answered
+	// with the stored reply, not re-executed. Read-only interactions
+	// skip the table ("it is not necessary to detect duplicate calls
+	// to or from a read-only component").
+	if !external && !roTreatment {
+		if e := p.lastCalls.get(call.ID.Caller); e != nil {
+			if call.ID.Seq < e.seq {
+				return fault(call.ID, "stale call %v (last is %d)", call.ID, e.seq)
+			}
+			if call.ID.Seq == e.seq {
+				if rep := p.replyFromEntry(e); rep != nil {
+					return rep
+				}
+				return fault(call.ID, "duplicate call %v but reply is unrecoverable", call.ID)
+			}
+		}
+	}
+
+	// Message 1 logging.
+	if !roTreatment {
+		p.inject(PointServerBeforeLogIncoming)
+		if _, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call}); err != nil {
+			return fault(call.ID, "log incoming: %v", err)
+		}
+		if external || p.cfg.LogMode == LogBaseline {
+			// Algorithm 1 forces every message; Algorithm 3 force-logs
+			// external calls promptly so the failure window is small.
+			if err := p.force(); err != nil {
+				return fault(call.ID, "force incoming: %v", err)
+			}
+		}
+		p.inject(PointServerAfterLogIncoming)
+	}
+
+	// Execute.
+	cx.beginExecution()
+	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
+	if err != nil {
+		return fault(call.ID, "%v", err)
+	}
+	reply := &msg.Reply{ID: call.ID, Results: results, NumResults: numResults, AppErr: appErr}
+	p.inject(PointServerAfterExecute)
+
+	// Message 2 logging, before the reply is sent.
+	if !roTreatment {
+		switch {
+		case p.cfg.LogMode == LogBaseline:
+			// Algorithm 1: log the full reply and force.
+			if _, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply}); err != nil {
+				return fault(call.ID, "log reply: %v", err)
+			}
+			if err := p.force(); err != nil {
+				return fault(call.ID, "force reply: %v", err)
+			}
+		case external:
+			// Algorithm 3: a short record — only the fact that the
+			// reply was (attempted to be) sent — then force.
+			if _, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID}); err != nil {
+				return fault(call.ID, "log reply-sent: %v", err)
+			}
+			if err := p.force(); err != nil {
+				return fault(call.ID, "force reply-sent: %v", err)
+			}
+		default:
+			// Algorithm 2: the send is not written (replay recreates
+			// it) but it commits state — force all previous records.
+			if err := p.force(); err != nil {
+				return fault(call.ID, "force at reply: %v", err)
+			}
+		}
+	}
+
+	// Last call table (condition 3's memory). Kept for persistent
+	// clients only; the reply body stays in memory and reaches the log
+	// lazily when a context state save needs it (Section 4.2).
+	if !external && !roTreatment {
+		p.lastCalls.put(call.ID.Caller, call.ID.Seq, reply, cx.parent.id)
+	}
+
+	// Checkpoint policies (Section 4: state records are saved when the
+	// context is quiescent — right here, after the call finished and
+	// before the next is admitted).
+	if !serverStateless {
+		cx.callsSinceSave++
+		if p.cfg.SaveStateEvery > 0 && cx.callsSinceSave >= p.cfg.SaveStateEvery {
+			if err := cx.saveStateLocked(); err != nil {
+				return fault(call.ID, "save state: %v", err)
+			}
+		}
+	}
+	total := p.incomingCalls.Add(1)
+	if p.cfg.CheckpointEvery > 0 && total%int64(p.cfg.CheckpointEvery) == 0 {
+		if err := p.checkpointLocked(); err != nil {
+			return fault(call.ID, "checkpoint: %v", err)
+		}
+	}
+
+	p.inject(PointServerBeforeSendReply)
+
+	// Reply attachment (Section 3.4), omitted when the client already
+	// knows us (Section 5.2.3) or cannot use it (external caller).
+	if !external && !call.KnowsServer {
+		reply.HasAttachment = true
+		reply.ServerType = cx.parent.ctype
+		reply.MethodReadOnly = roMethodAttr
+	}
+	return reply
+}
+
+// replyFromEntry materializes a last-call reply from memory or from
+// its log record ("actual reply messages are only read when they are
+// required to reply to a duplicate call", Section 4.4).
+func (p *Process) replyFromEntry(e *lastCallEntry) *msg.Reply {
+	if e.reply != nil {
+		return e.reply
+	}
+	if e.replyLSN.IsNil() {
+		return nil
+	}
+	rec, err := p.log.Read(e.replyLSN)
+	if err != nil || rec.Type != recReplyContent {
+		return nil
+	}
+	var rc replyContentRec
+	if err := decodeRec(rec.Payload, &rc); err != nil {
+		return nil
+	}
+	e.reply = &rc.Reply
+	return e.reply
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wal"
+)
+
+// Batcher mirrors the paper's micro-benchmark: the measurement loop
+// runs inside the client component, so one incoming call drives many
+// outgoing calls (Section 5.1).
+type Batcher struct {
+	Server *Ref
+	Sum    int
+}
+
+func (b *Batcher) RunBatch(method string, n, arg int) (int, error) {
+	for i := 0; i < n; i++ {
+		res, err := b.Server.Call(method, arg)
+		if err != nil {
+			return 0, err
+		}
+		if len(res) == 1 {
+			if v, ok := res[0].(int); ok {
+				b.Sum += v
+			}
+		}
+	}
+	return b.Sum, nil
+}
+
+// RunBatchNoArg drives a zero-argument server method n times.
+func (b *Batcher) RunBatchNoArg(method string, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		res, err := b.Server.Call(method)
+		if err != nil {
+			return 0, err
+		}
+		if len(res) == 1 {
+			if v, ok := res[0].(int); ok {
+				b.Sum += v
+			}
+		}
+	}
+	return b.Sum, nil
+}
+
+// statsDelta runs fn and returns the change in each process's log stats.
+func statsDelta(p *Process, fn func()) wal.Stats {
+	before := p.LogStats()
+	fn()
+	after := p.LogStats()
+	return wal.Stats{
+		Appends:        after.Appends - before.Appends,
+		Forces:         after.Forces - before.Forces,
+		PhysicalWrites: after.PhysicalWrites - before.PhysicalWrites,
+		BytesWritten:   after.BytesWritten - before.BytesWritten,
+	}
+}
+
+// setup builds client process (machine evo1) and server process
+// (machine evo2), hosting Batcher -> target component.
+func setupBatch(t *testing.T, cfg Config, serverObj any, serverOpts ...CreateOption) (u *Universe, pc, ps *Process, batch *Ref) {
+	t.Helper()
+	u = newTestUniverse(t)
+	_, pc = startProc(t, u, "evo1", "cli", cfg)
+	_, ps = startProc(t, u, "evo2", "srv", cfg)
+	hs, err := ps.Create("Server", serverObj, serverOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pc.Create("Batcher", &Batcher{Server: NewRef(hs.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, pc, ps, u.ExternalRef(hb.URI())
+}
+
+func TestPersistentToPersistentBatchForces(t *testing.T) {
+	// Steady state per inner call (optimized): client forces once at
+	// msg3 (the previous msg4 append made the log dirty) and appends
+	// msg4; server appends msg1 and forces at msg2 — the paper's "two
+	// unbuffered disk writes" per call.
+	cfg := testConfig()
+	_, pc, ps, ref := setupBatch(t, cfg, &Counter{})
+	callInt(t, ref, "RunBatch", "Add", 1, 1) // warm up (learning, creation forces)
+	const n = 10
+	var cs, ss wal.Stats
+	cs = statsDelta(pc, func() {
+		ss = statsDelta(ps, func() {
+			callInt(t, ref, "RunBatch", "Add", n, 1)
+		})
+	})
+	// The incoming RunBatch itself costs the client 2 forces (external
+	// client: msg1 force + msg2 force); each inner call costs 1,
+	// except the first, whose msg3 force finds the log already clean
+	// from the envelope's msg1 force.
+	if want := int64(n + 1); cs.Forces != want {
+		t.Errorf("client forces = %d, want %d", cs.Forces, want)
+	}
+	if want := int64(n); ss.Forces != want {
+		t.Errorf("server forces = %d, want %d", ss.Forces, want)
+	}
+}
+
+func TestPersistentToFunctionalNoLogging(t *testing.T) {
+	// Algorithm 4: once the client has learned the server is
+	// functional, neither side logs or forces anything for the calls.
+	cfg := testConfig()
+	_, pc, ps, ref := setupBatch(t, cfg, &Pure{}, WithType(msg.Functional))
+	callInt(t, ref, "RunBatch", "Double", 1, 21) // learn server type
+	const n = 10
+	var cs, ss wal.Stats
+	cs = statsDelta(pc, func() {
+		ss = statsDelta(ps, func() {
+			callInt(t, ref, "RunBatch", "Double", n, 21)
+		})
+	})
+	if ss.Appends != 0 || ss.Forces != 0 {
+		t.Errorf("functional server logged: %+v", ss)
+	}
+	// Client: only the external RunBatch envelope (1 append + 2
+	// forces); the inner functional calls log nothing.
+	if cs.Appends != 2 || cs.Forces != 2 {
+		t.Errorf("client stats = %+v, want 2 appends (msg1+msg2 short)/2 forces", cs)
+	}
+}
+
+func TestPersistentToReadOnlyLogsReplyUnforced(t *testing.T) {
+	// Algorithm 5: the read-only component logs nothing; the
+	// persistent caller logs (but does not force) each reply.
+	cfg := testConfig()
+	u := newTestUniverse(t)
+	_, pc := startProc(t, u, "evo1", "cli", cfg)
+	_, ps := startProc(t, u, "evo2", "srv", cfg)
+	_, pr := startProc(t, u, "evo2", "ro", cfg)
+
+	hc, err := ps.Create("Counter", &Counter{N: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := pr.Create("Prober", &Prober{Server: NewRef(hc.URI())}, WithType(msg.ReadOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pc.Create("Batcher", &Batcher{Server: NewRef(hp.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(hb.URI())
+	callInt(t, ref, "RunBatchNoArg", "Probe", 1) // learn
+	const n = 10
+	var cs, rs, ss wal.Stats
+	cs = statsDelta(pc, func() {
+		rs = statsDelta(pr, func() {
+			ss = statsDelta(ps, func() {
+				callInt(t, ref, "RunBatchNoArg", "Probe", n)
+			})
+		})
+	})
+	if rs.Appends != 0 || rs.Forces != 0 {
+		t.Errorf("read-only component logged: %+v", rs)
+	}
+	// The persistent Counter does not log calls from the read-only
+	// component ("at a persistent component, we do not log calls from
+	// read-only components").
+	if ss.Appends != 0 || ss.Forces != 0 {
+		t.Errorf("persistent server logged RO-client calls: %+v", ss)
+	}
+	// Client: msg4 logged per inner call, no forces for them; plus the
+	// external envelope (1 append + 2 forces).
+	if want := int64(n + 2); cs.Appends != want {
+		t.Errorf("client appends = %d, want %d", cs.Appends, want)
+	}
+	if cs.Forces != 2 {
+		t.Errorf("client forces = %d, want 2 (external envelope only)", cs.Forces)
+	}
+}
+
+func TestReadOnlyMethodsOnPersistentServer(t *testing.T) {
+	// Section 3.3: read-only method calls are treated like calls to a
+	// read-only component — no server logging, client logs the reply
+	// without forcing.
+	cfg := testConfig()
+	_, pc, ps, ref := setupBatch(t, cfg, &Counter{N: 7}, WithReadOnlyMethods("Get"))
+	callInt(t, ref, "RunBatchNoArg", "Get", 1) // learn the method attribute
+	const n = 10
+	var cs, ss wal.Stats
+	cs = statsDelta(pc, func() {
+		ss = statsDelta(ps, func() {
+			callInt(t, ref, "RunBatchNoArg", "Get", n)
+		})
+	})
+	if ss.Appends != 0 || ss.Forces != 0 {
+		t.Errorf("server logged read-only method calls: %+v", ss)
+	}
+	if want := int64(n + 2); cs.Appends != want {
+		t.Errorf("client appends = %d, want %d", cs.Appends, want)
+	}
+	if cs.Forces != 2 {
+		t.Errorf("client forces = %d, want 2", cs.Forces)
+	}
+	// And the method still returns correct data.
+	if got := callInt(t, ref, "RunBatchNoArg", "Get", 1); got == 0 {
+		t.Error("RunBatch Get accumulated nothing")
+	}
+}
+
+func TestReadOnlyMethodsIgnoredWithoutSpecializedTypes(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpecializedTypes = false
+	_, _, ps, ref := setupBatch(t, cfg, &Counter{N: 7}, WithReadOnlyMethods("Get"))
+	callInt(t, ref, "RunBatchNoArg", "Get", 1)
+	const n = 5
+	ss := statsDelta(ps, func() {
+		callInt(t, ref, "RunBatchNoArg", "Get", n)
+	})
+	// Without the switch, Get is logged like any persistent call.
+	if ss.Forces != n {
+		t.Errorf("server forces = %d, want %d (no read-only treatment)", ss.Forces, n)
+	}
+}
+
+// Parent/Sub exercise subordinate co-location.
+type Parent struct {
+	Total int
+
+	ctx *Ctx
+}
+
+func (p *Parent) AttachContext(cx *Ctx) { p.ctx = cx }
+
+func (p *Parent) Deposit(n int) (int, error) {
+	sub, ok := p.ctx.Subordinate("vault")
+	if !ok {
+		var err error
+		sub, err = p.ctx.CreateSubordinate("vault", &Vault{})
+		if err != nil {
+			return 0, err
+		}
+	}
+	res, err := sub.Call("Put", n)
+	if err != nil {
+		return 0, err
+	}
+	p.Total = res[0].(int)
+	return p.Total, nil
+}
+
+type Vault struct {
+	Stored int
+}
+
+func (v *Vault) Put(n int) (int, error) { v.Stored += n; return v.Stored, nil }
+
+func TestSubordinateCallsAreNotLogged(t *testing.T) {
+	cfg := testConfig()
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", cfg)
+	h, err := p.Create("Parent", &Parent{}, WithSubordinate("vault", &Vault{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	st := statsDelta(p, func() {
+		if got := callInt(t, ref, "Deposit", 5); got != 5 {
+			t.Errorf("Deposit -> %d", got)
+		}
+	})
+	// Only the external envelope is logged: msg1 + msg2-short, two
+	// forces. The parent→subordinate call leaves no trace.
+	if st.Appends != 2 || st.Forces != 2 {
+		t.Errorf("stats = %+v, want envelope only", st)
+	}
+}
+
+func TestSubordinateStateRecoveredWithParent(t *testing.T) {
+	cfg := testConfig()
+	u := newTestUniverse(t)
+	m, p := startProc(t, u, "evo1", "srv", cfg)
+	h, err := p.Create("Parent", &Parent{}, WithSubordinate("vault", &Vault{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	callInt(t, ref, "Deposit", 5)
+	callInt(t, ref, "Deposit", 7)
+	p.Crash()
+
+	p2, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := callInt(t, ref, "Deposit", 1); got != 13 {
+		t.Errorf("Deposit after recovery -> %d, want 13", got)
+	}
+	h2, _ := p2.Lookup("Parent")
+	sub, ok := h2.Ctx().Subordinate("vault")
+	if !ok {
+		t.Fatal("subordinate lost in recovery")
+	}
+	if v := sub.Object().(*Vault); v.Stored != 13 {
+		t.Errorf("vault.Stored = %d, want 13", v.Stored)
+	}
+}
+
+func TestDynamicSubordinateCreationReplays(t *testing.T) {
+	// Parent creates the subordinate lazily inside Deposit; replay
+	// must re-create it deterministically.
+	cfg := testConfig()
+	u := newTestUniverse(t)
+	m, p := startProc(t, u, "evo1", "srv", cfg)
+	h, err := p.Create("Parent", &Parent{}) // no static subordinate
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	callInt(t, ref, "Deposit", 3)
+	callInt(t, ref, "Deposit", 4)
+	p.Crash()
+
+	p2, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := callInt(t, ref, "Deposit", 3); got != 10 {
+		t.Errorf("Deposit after recovery -> %d, want 10", got)
+	}
+}
+
+// Grabber fans out to several servers in one execution (the
+// PriceGrabber pattern of Section 5.5.2).
+type Grabber struct {
+	Stores []string // URIs; resolved per call via ctx
+	ctx    *Ctx
+}
+
+func (g *Grabber) AttachContext(cx *Ctx) { g.ctx = cx }
+
+func (g *Grabber) Fan(arg int) (int, error) {
+	sum := 0
+	for _, s := range g.Stores {
+		res, err := g.ctx.NewRef(ids.URI(s)).Call("Add", arg)
+		if err != nil {
+			return 0, err
+		}
+		sum += res[0].(int)
+	}
+	return sum, nil
+}
+
+func (g *Grabber) FanTwice(arg int) (int, error) {
+	a, err := g.Fan(arg)
+	if err != nil {
+		return 0, err
+	}
+	b, err := g.Fan(arg)
+	return a + b, err
+}
+
+func TestMultiCallOptimization(t *testing.T) {
+	// Section 3.5: with the optimization, calls to distinct servers
+	// within one method execution do not force; a second call to the
+	// same server does.
+	for _, tc := range []struct {
+		multiCall bool
+		method    string
+		// forces at the grabber per driving call, excluding the
+		// external envelope's 2.
+		wantInner int64
+	}{
+		// Without multi-call: 3 distinct servers → force before each
+		// send. The first is absorbed by the envelope's msg1 force
+		// (nothing new buffered); the 2nd and 3rd follow msg4 appends.
+		{false, "Fan", 2},
+		// With multi-call: no forces for three distinct servers.
+		{true, "Fan", 0},
+		// With multi-call, calling the same servers twice: the second
+		// round forces per repeated server.
+		{true, "FanTwice", 3},
+	} {
+		cfg := testConfig()
+		cfg.MultiCall = tc.multiCall
+		u := newTestUniverse(t)
+		_, pc := startProc(t, u, "evo1", "cli", cfg)
+		_, ps := startProc(t, u, "evo2", "srv", cfg)
+		var stores []string
+		for _, name := range []string{"S1", "S2", "S3"} {
+			hs, err := ps.Create(name, &Counter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores = append(stores, string(hs.URI()))
+		}
+		hg, err := pc.Create("Grabber", &Grabber{Stores: stores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := u.ExternalRef(hg.URI())
+		callInt(t, ref, tc.method, 1) // warm up
+		cs := statsDelta(pc, func() {
+			callInt(t, ref, tc.method, 1)
+		})
+		if got := cs.Forces - 2; got != tc.wantInner {
+			t.Errorf("multiCall=%v %s: inner forces = %d, want %d",
+				tc.multiCall, tc.method, got, tc.wantInner)
+		}
+		pc.Close()
+		ps.Close()
+	}
+}

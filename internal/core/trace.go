@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// EventKind classifies runtime lifecycle events surfaced through
+// Config.OnEvent.
+type EventKind int
+
+const (
+	// EventCrash fires when a process fail-stops.
+	EventCrash EventKind = iota
+	// EventRecoveryStart fires when crash recovery begins, after the
+	// well-known LSN has been read.
+	EventRecoveryStart
+	// EventRecoveryDone fires when recovery completes; Detail reports
+	// restored contexts and replayed calls.
+	EventRecoveryDone
+	// EventStateSave fires when a context state record is written.
+	EventStateSave
+	// EventCheckpoint fires when a process checkpoint is written.
+	EventCheckpoint
+	// EventTrim fires when dead log segments are reclaimed.
+	EventTrim
+	// EventRetry fires when an outgoing call is redriven after a
+	// server failure (condition 4). Detail reports the attempt number.
+	EventRetry
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRecoveryStart:
+		return "recovery-start"
+	case EventRecoveryDone:
+		return "recovery-done"
+	case EventStateSave:
+		return "state-save"
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventTrim:
+		return "trim"
+	case EventRetry:
+		return "retry"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one runtime lifecycle occurrence.
+type Event struct {
+	Kind    EventKind
+	Process string
+	// Context names the affected context, when there is one.
+	Context ids.URI
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%s] %s", e.Process, e.Kind)
+	if e.Context != "" {
+		s += " " + string(e.Context)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// emit delivers an event to the process's observer. Callbacks may run
+// with runtime locks held and must not call back into the runtime;
+// forward to a channel or logger.
+func (p *Process) emit(kind EventKind, ctx ids.URI, format string, args ...any) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	p.cfg.OnEvent(Event{Kind: kind, Process: p.name, Context: ctx, Detail: detail})
+}

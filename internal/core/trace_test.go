@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog collects events thread-safely (the callback runs with
+// runtime locks held).
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (e *eventLog) record(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = append(e.events, ev)
+}
+
+func (e *eventLog) kinds() map[EventKind]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[EventKind]int)
+	for _, ev := range e.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+func TestLifecycleEvents(t *testing.T) {
+	u := newTestUniverse(t)
+	trace := &eventLog{}
+	cfg := testConfig()
+	cfg.SaveStateEvery = 2
+	cfg.CheckpointEvery = 4
+	cfg.AutoTrimLog = true
+	cfg.OnEvent = trace.record
+	m, p := startProc(t, u, "evo1", "srv", cfg)
+	p.SetLogSegmentBytes(2048)
+	h, err := p.Create("Counter", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(h.URI())
+	for i := 0; i < 40; i++ {
+		callInt(t, ref, "Add", 1)
+	}
+	p.Crash()
+	p2, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	callInt(t, ref, "Get")
+
+	kinds := trace.kinds()
+	for _, want := range []EventKind{
+		EventStateSave, EventCheckpoint, EventTrim, EventCrash,
+		EventRecoveryStart, EventRecoveryDone,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event observed; kinds = %v", want, kinds)
+		}
+	}
+	// The recovery-done event reports restored/replayed counts.
+	var done Event
+	trace.mu.Lock()
+	for _, ev := range trace.events {
+		if ev.Kind == EventRecoveryDone {
+			done = ev
+		}
+	}
+	trace.mu.Unlock()
+	if !strings.Contains(done.Detail, "contexts restored") ||
+		!strings.Contains(done.Detail, "replayed") {
+		t.Errorf("recovery-done detail = %q", done.Detail)
+	}
+	if done.String() == "" || !strings.Contains(done.String(), "recovery-done") {
+		t.Errorf("event String() = %q", done.String())
+	}
+}
+
+func TestRetryEvents(t *testing.T) {
+	u := newTestUniverse(t)
+	trace := &eventLog{}
+	cfg := testConfig()
+	cfg.OnEvent = trace.record
+	cfg.RetryInterval = time.Millisecond
+	cfg.RetryLimit = 2000
+	_, pc := startProc(t, u, "evo1", "cli", cfg)
+	ms, ps := startProc(t, u, "evo2", "srv", testConfig())
+	defer pc.Close()
+	hc, err := ps.Create("Counter", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := pc.Create("Relay", &Relay{Server: NewRef(hc.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Crash()
+	done := make(chan error, 1)
+	go func() {
+		_, err := u.ExternalRef(hr.URI()).Call("Forward", 1)
+		done <- err
+	}()
+	time.Sleep(15 * time.Millisecond)
+	if _, err := ms.StartProcess("srv", testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if trace.kinds()[EventRetry] == 0 {
+		t.Error("no retry events observed while the server was down")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventCrash; k <= EventRetry; k++ {
+		if strings.HasPrefix(k.String(), "event(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(EventKind(99).String(), "event(") {
+		t.Error("unknown kind should fall back")
+	}
+}

@@ -1,0 +1,237 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvances(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	if got := c.Now().Sub(t0); got != 5*time.Millisecond {
+		t.Errorf("advance = %v, want 5ms", got)
+	}
+	c.Sleep(-time.Second) // negative sleeps are ignored
+	if got := c.Now().Sub(t0); got != 5*time.Millisecond {
+		t.Errorf("advance after negative sleep = %v, want 5ms", got)
+	}
+}
+
+func TestRealClockScaledSleepKeepsModelTime(t *testing.T) {
+	c := NewRealClock(0.01)
+	t0 := c.Now()
+	wall0 := time.Now()
+	c.Sleep(100 * time.Millisecond) // should really sleep ~1ms
+	wall := time.Since(wall0)
+	model := c.Now().Sub(t0)
+	if wall > 60*time.Millisecond {
+		t.Errorf("scaled sleep took %v of wall time, want ~1ms", wall)
+	}
+	if model < 100*time.Millisecond {
+		t.Errorf("model time advanced %v, want >= 100ms", model)
+	}
+}
+
+func TestRealClockBadScaleDefaultsToOne(t *testing.T) {
+	for _, s := range []float64{0, -1, 2} {
+		c := NewRealClock(s)
+		if rc, ok := c.(*realClock); !ok || rc.scale != 1 {
+			t.Errorf("scale %v: got %+v, want scale 1", s, c)
+		}
+	}
+}
+
+func TestSimDiskRotation(t *testing.T) {
+	d := NewSimDisk(DefaultParams(), NewVirtualClock())
+	rot := d.Rotation()
+	secs := 60.0 / 7200.0
+	want := time.Duration(secs * float64(time.Second))
+	if rot != want {
+		t.Errorf("Rotation = %v, want %v", rot, want)
+	}
+}
+
+// TestSimDiskBackToBackWritesMissFullRotation checks the core Figure 9
+// observation: unbuffered writes in a tight loop each cost about one
+// full rotation (~8.33 ms) plus service time (~8.5 ms total).
+func TestSimDiskBackToBackWritesMissFullRotation(t *testing.T) {
+	clk := NewVirtualClock()
+	d := NewSimDisk(DefaultParams(), clk)
+	const n = 100
+	start := clk.Now()
+	for i := 0; i < n; i++ {
+		d.Write(1024)
+	}
+	per := clk.Now().Sub(start) / n
+	if per < 8300*time.Microsecond || per > 8700*time.Microsecond {
+		t.Errorf("per-write time = %v, want ~8.5ms", per)
+	}
+}
+
+// TestSimDiskStaircase checks the staircase of Figure 9: with a delay d
+// inserted after each write, the per-iteration elapsed time is about
+// rotation*ceil((d+eps)/rotation), jumping at multiples of the rotation.
+func TestSimDiskStaircase(t *testing.T) {
+	rot := NewSimDisk(DefaultParams(), NewVirtualClock()).Rotation()
+	cases := []struct {
+		delay time.Duration
+		steps int // expected missed rotations per iteration
+	}{
+		{0, 1},
+		{4 * time.Millisecond, 1},
+		{rot - time.Millisecond, 1},
+		{rot + time.Millisecond, 2},
+		{12 * time.Millisecond, 2},
+		{2*rot + time.Millisecond, 3},
+		{30 * time.Millisecond, 4},
+	}
+	for _, tc := range cases {
+		clk := NewVirtualClock()
+		d := NewSimDisk(DefaultParams(), clk)
+		d.Write(1024) // prime the phase
+		const n = 20
+		start := clk.Now()
+		for i := 0; i < n; i++ {
+			clk.Sleep(tc.delay)
+			d.Write(1024)
+		}
+		per := clk.Now().Sub(start) / n
+		wantLo := time.Duration(tc.steps) * rot
+		wantHi := wantLo + time.Millisecond // service+transfer slack
+		if per < wantLo || per > wantHi {
+			t.Errorf("delay %v: per-iteration = %v, want in [%v, %v]",
+				tc.delay, per, wantLo, wantHi)
+		}
+	}
+}
+
+func TestSimDiskFirstWriteSeesPartialRotation(t *testing.T) {
+	// With StartPhase 0.5 the first write waits only ~half a rotation.
+	clk := NewVirtualClock()
+	p := DefaultParams()
+	p.StartPhase = 0.5
+	d := NewSimDisk(p, clk)
+	start := clk.Now()
+	d.Write(1024)
+	got := clk.Now().Sub(start)
+	half := d.Rotation() / 2
+	if got < half-time.Millisecond || got > half+time.Millisecond {
+		t.Errorf("first write = %v, want ~%v", got, half)
+	}
+}
+
+func TestSimDiskWriteCacheEnabled(t *testing.T) {
+	clk := NewVirtualClock()
+	p := DefaultParams()
+	p.WriteCache = true
+	d := NewSimDisk(p, clk)
+	start := clk.Now()
+	for i := 0; i < 10; i++ {
+		d.Write(1024)
+		d.Sync()
+	}
+	per := clk.Now().Sub(start) / 10
+	// Cache-on write+sync should be well under a rotation.
+	if per >= d.Rotation()/4 {
+		t.Errorf("cache-on write+sync = %v, want well under a rotation", per)
+	}
+	writes, syncs, media := d.Stats()
+	if writes != 10 || syncs != 10 {
+		t.Errorf("stats = %d writes %d syncs, want 10/10", writes, syncs)
+	}
+	if media <= 0 {
+		t.Error("mediaTime not accounted")
+	}
+}
+
+func TestSimDiskSyncFreeWhenCacheDisabled(t *testing.T) {
+	clk := NewVirtualClock()
+	d := NewSimDisk(DefaultParams(), clk)
+	d.Write(512)
+	before := clk.Now()
+	d.Sync()
+	if adv := clk.Now().Sub(before); adv != 0 {
+		t.Errorf("cache-off Sync advanced clock by %v, want 0", adv)
+	}
+}
+
+func TestSimDiskStats(t *testing.T) {
+	d := NewSimDisk(DefaultParams(), NewVirtualClock())
+	d.Write(100)
+	d.Write(100)
+	d.Sync()
+	writes, syncs, media := d.Stats()
+	if writes != 2 || syncs != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", writes, syncs)
+	}
+	// First write waits ~half a rotation (StartPhase 0.5), the second a
+	// full rotation: ~12.5 ms total.
+	if media < 12*time.Millisecond {
+		t.Errorf("mediaTime = %v, want >= ~12.5ms", media)
+	}
+}
+
+func TestSimDiskDefaultsOnZeroParams(t *testing.T) {
+	d := NewSimDisk(SimParams{}, NewVirtualClock())
+	if d.Rotation() <= 0 {
+		t.Fatal("rotation must be positive with zeroed params")
+	}
+	d.Write(1024) // must not divide by zero
+}
+
+func TestHostModelNoops(t *testing.T) {
+	var m HostModel
+	m.Write(4096)
+	m.Sync()
+	if m.Name() != "host" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestSimDiskPhaseNoiseRandomizesWaits(t *testing.T) {
+	// With per-write phase noise of a full rotation, back-to-back
+	// writes wait on average about half a rotation instead of a full
+	// one (the paper's remote-case behaviour, Section 5.2.2).
+	p := DefaultParams()
+	p.PhaseNoise = NewSimDisk(DefaultParams(), NewVirtualClock()).Rotation()
+	p.NoiseSeed = 42
+	clk := NewVirtualClock()
+	d := NewSimDisk(p, clk)
+	d.Write(1024)
+	const n = 400
+	start := clk.Now()
+	for i := 0; i < n; i++ {
+		d.Write(1024)
+	}
+	per := clk.Now().Sub(start) / n
+	rot := d.Rotation()
+	// Mean wait should sit well below a full rotation and near half.
+	if per > rot*3/4 || per < rot/4 {
+		t.Errorf("noisy per-write = %v, want ~%v (half rotation)", per, rot/2)
+	}
+	// Determinism: the same seed reproduces the same total.
+	clk2 := NewVirtualClock()
+	d2 := NewSimDisk(p, clk2)
+	d2.Write(1024)
+	start2 := clk2.Now()
+	for i := 0; i < n; i++ {
+		d2.Write(1024)
+	}
+	if clk2.Now().Sub(start2) != clk.Now().Sub(start) {
+		t.Error("phase noise not deterministic under a fixed seed")
+	}
+}
+
+func TestSimDiskName(t *testing.T) {
+	off := NewSimDisk(DefaultParams(), NewVirtualClock())
+	if off.Name() != "sim(cache-off)" {
+		t.Errorf("Name = %q", off.Name())
+	}
+	p := DefaultParams()
+	p.WriteCache = true
+	on := NewSimDisk(p, NewVirtualClock())
+	if on.Name() != "sim(cache-on)" {
+		t.Errorf("Name = %q", on.Name())
+	}
+}

@@ -1,0 +1,59 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Argument and result streams travel as gob-encoded []any, so a generic
+// client can decode a reply without knowing the remote method's
+// signature. Gob transmits interface values with their concrete type
+// names, which must be registered: common types are registered here,
+// and applications register their own with RegisterType (the public
+// phoenix.RegisterType forwards to it), exactly as encoding/gob users
+// register types exchanged through interfaces.
+
+func init() {
+	for _, v := range []any{
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
+		float32(0), float64(0), string(""), bool(false),
+		[]byte(nil), []string(nil), []int(nil), []int64(nil), []float64(nil),
+		map[string]string(nil), map[string]int(nil), map[string]float64(nil),
+		[]any(nil), map[string]any(nil),
+	} {
+		gob.Register(v)
+	}
+}
+
+// RegisterType makes a concrete type transmissible as a method argument
+// or result. Call it once (e.g. from an init function) for every
+// application struct that crosses a component boundary.
+func RegisterType(v any) { gob.Register(v) }
+
+// EncodeAnySlice serializes an argument or result list.
+func EncodeAnySlice(vals []any) ([]byte, error) {
+	var buf bytes.Buffer
+	if vals == nil {
+		vals = []any{}
+	}
+	for i, v := range vals {
+		if v == nil {
+			return nil, fmt.Errorf("msg: value %d is untyped nil; pass a typed zero value", i)
+		}
+	}
+	if err := gob.NewEncoder(&buf).Encode(vals); err != nil {
+		return nil, fmt.Errorf("msg: encode values: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAnySlice deserializes an argument or result list.
+func DecodeAnySlice(data []byte) ([]any, error) {
+	var vals []any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&vals); err != nil {
+		return nil, fmt.Errorf("msg: decode values: %w", err)
+	}
+	return vals, nil
+}

@@ -1,0 +1,63 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// FuzzDecodeCall: arbitrary bytes must never panic the call decoder,
+// and valid encodings must round-trip.
+func FuzzDecodeCall(f *testing.F) {
+	seed, _ := EncodeCall(&Call{
+		ID:     ids.CallID{Caller: ids.ComponentAddr{Machine: "m", Proc: 1, Comp: 2}, Seq: 3},
+		Target: "phoenix://m/p/c", Method: "M", Args: []byte{1, 2}, NumArgs: 1,
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCall(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode.
+		if _, err := EncodeCall(c); err != nil {
+			t.Fatalf("re-encode of decoded call failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeReply mirrors FuzzDecodeCall for replies.
+func FuzzDecodeReply(f *testing.F) {
+	seed, _ := EncodeReply(&Reply{Results: []byte{9}, NumResults: 1, AppErr: "x"})
+	f.Add(seed)
+	f.Add([]byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReply(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeReply(r); err != nil {
+			t.Fatalf("re-encode of decoded reply failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeAnySlice: the argument stream decoder must be total.
+func FuzzDecodeAnySlice(f *testing.F) {
+	seed, _ := EncodeAnySlice([]any{1, "two", 3.0, true})
+	f.Add(seed)
+	f.Add([]byte("x"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeAnySlice(data)
+		if err != nil {
+			return
+		}
+		for _, v := range vals {
+			if v == nil {
+				t.Fatal("decoder produced a nil value")
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package msg defines the wire messages exchanged between Phoenix/App
+// contexts: method-call messages and their replies (messages 1-4 of
+// paper Figure 1 — an incoming call and its reply are the same wire
+// message seen from the server and client side respectively).
+//
+// Messages carry the component-type attachments of Section 3.4: a
+// client attaches its (parent) component type so the server can pick a
+// logging discipline, and the server attaches its type in the reply so
+// the client can populate its remote component type table. The
+// attachment also implements the Section 5.2.3 optimization: the client
+// sets KnowsServer once it has learned the server's type, letting the
+// server omit the reply attachment.
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+
+	"repro/internal/ids"
+)
+
+// ComponentType enumerates the Phoenix/App component kinds of
+// Sections 2 and 3.2. External is the default for components the
+// runtime knows nothing about and makes no guarantees for.
+type ComponentType uint8
+
+const (
+	// External components get no logging and no guarantees.
+	External ComponentType = iota
+	// Persistent components are transparently logged and recovered.
+	Persistent
+	// Subordinate components live in their parent's context and accept
+	// calls only from the parent and sibling subordinates.
+	Subordinate
+	// Functional components are stateless and pure; they call only
+	// other functional components.
+	Functional
+	// ReadOnly components are stateless but may read persistent
+	// servers; their replies are not repeatable.
+	ReadOnly
+)
+
+// String returns the paper's name for the component type.
+func (t ComponentType) String() string {
+	switch t {
+	case External:
+		return "External"
+	case Persistent:
+		return "Persistent"
+	case Subordinate:
+		return "Subordinate"
+	case Functional:
+		return "Functional"
+	case ReadOnly:
+		return "ReadOnly"
+	default:
+		return fmt.Sprintf("ComponentType(%d)", uint8(t))
+	}
+}
+
+// Stateless reports whether the component type keeps no recoverable
+// state (functional and read-only components, Section 3.2).
+func (t ComponentType) Stateless() bool {
+	return t == Functional || t == ReadOnly
+}
+
+// Call is a method-call message (message 1/3 of Figure 1).
+type Call struct {
+	// ID is the globally unique method-call ID (condition 2). It is
+	// zero when the caller is an external component.
+	ID ids.CallID
+	// Target is the URI of the component being called.
+	Target ids.URI
+	// Method is the exported method name to invoke.
+	Method string
+	// Args is the gob stream of the NumArgs argument values.
+	Args []byte
+	// NumArgs is the number of encoded arguments.
+	NumArgs int
+
+	// CallerType is the Section 3.4 attachment: the type of the
+	// calling component (the parent component of its context).
+	CallerType ComponentType
+	// CallerURI lets the server name the caller (diagnostics only).
+	CallerURI ids.URI
+	// ReadOnly marks the call as one the caller treats as read-only
+	// (call to a read-only method, learned from the remote component
+	// type table or declared by the proxy).
+	ReadOnly bool
+	// KnowsServer tells the server that the caller already knows the
+	// server's component type, so the reply attachment may be omitted
+	// (the Section 5.2.3 optimization).
+	KnowsServer bool
+}
+
+// Reply is a method-reply message (message 2/4 of Figure 1).
+type Reply struct {
+	// ID echoes the call's ID.
+	ID ids.CallID
+	// Results is the gob stream of the NumResults return values,
+	// excluding a trailing error.
+	Results []byte
+	// NumResults is the number of encoded results.
+	NumResults int
+	// AppErr carries a non-nil error returned by the method itself
+	// (an application error: the component is alive; condition 4's
+	// retries do not apply).
+	AppErr string
+	// Fault carries a runtime infrastructure error (no such component,
+	// no such method, undecodable arguments). Like AppErr it means the
+	// server process is alive, so the client must not retry.
+	Fault string
+
+	// HasAttachment tells the client the three fields below are set;
+	// it is false when the call's KnowsServer let the server omit them.
+	HasAttachment bool
+	// ServerType is the server's component type.
+	ServerType ComponentType
+	// MethodReadOnly reports that the invoked method carries the
+	// read-only attribute (Section 3.3).
+	MethodReadOnly bool
+}
+
+// EncodeCall serializes a Call for the transport.
+func EncodeCall(c *Call) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("msg: encode call: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCall deserializes a Call from the transport.
+func DecodeCall(data []byte) (*Call, error) {
+	var c Call
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("msg: decode call: %w", err)
+	}
+	return &c, nil
+}
+
+// EncodeReply serializes a Reply for the transport.
+func EncodeReply(r *Reply) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("msg: encode reply: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReply deserializes a Reply from the transport.
+func DecodeReply(data []byte) (*Reply, error) {
+	var r Reply
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("msg: decode reply: %w", err)
+	}
+	return &r, nil
+}
+
+// EncodeValues gob-encodes a sequence of values (method arguments or
+// results) into one stream. Marshalling happens even for in-process
+// calls, exactly as .NET remoting marshals across context boundaries:
+// it isolates component state and makes the logged bytes identical to
+// the delivered bytes, which replay determinism relies on.
+func EncodeValues(vals []reflect.Value) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i, v := range vals {
+		if err := enc.EncodeValue(v); err != nil {
+			return nil, fmt.Errorf("msg: encode value %d (%s): %w", i, v.Type(), err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValues decodes n values of the given types from a stream
+// produced by EncodeValues.
+func DecodeValues(data []byte, types []reflect.Type) ([]reflect.Value, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	vals := make([]reflect.Value, len(types))
+	for i, t := range types {
+		p := reflect.New(t)
+		if err := dec.DecodeValue(p); err != nil {
+			return nil, fmt.Errorf("msg: decode value %d (%s): %w", i, t, err)
+		}
+		vals[i] = p.Elem()
+	}
+	return vals, nil
+}

@@ -1,0 +1,219 @@
+package rpc
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+type Book struct {
+	Title string
+	Price float64
+}
+
+func init() { msg.RegisterType(Book{}); msg.RegisterType([]Book(nil)) }
+
+type store struct {
+	inventory []Book
+	calls     int
+}
+
+func (s *store) Search(keyword string) []Book {
+	s.calls++
+	var out []Book
+	for _, b := range s.inventory {
+		if strings.Contains(b.Title, keyword) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (s *store) Add(b Book) (int, error) {
+	s.inventory = append(s.inventory, b)
+	return len(s.inventory), nil
+}
+
+func (s *store) Fail() error { return errors.New("out of stock") }
+
+func (s *store) NoResults(x int) {}
+
+func (s *store) unexported() {}
+
+func newStore() *store {
+	return &store{inventory: []Book{
+		{Title: "Transaction Processing", Price: 89.0},
+		{Title: "Recovery Guarantees", Price: 45.5},
+	}}
+}
+
+func TestDispatcherEnumeratesExportedMethods(t *testing.T) {
+	d, err := NewDispatcher(newStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Add", "Fail", "NoResults", "Search"}
+	if got := d.MethodNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("MethodNames = %v, want %v", got, want)
+	}
+	m, ok := d.Method("Add")
+	if !ok {
+		t.Fatal("Add not found")
+	}
+	if !m.ReturnsErr || len(m.ParamTypes) != 1 || len(m.ResultTypes) != 1 {
+		t.Errorf("Add metadata wrong: %+v", m)
+	}
+	if _, ok := d.Method("unexported"); ok {
+		t.Error("unexported method visible")
+	}
+}
+
+func TestNewDispatcherRejectsNonPointer(t *testing.T) {
+	for _, obj := range []any{nil, 42, store{}, (*store)(nil)} {
+		if _, err := NewDispatcher(obj); err == nil {
+			t.Errorf("NewDispatcher(%T) succeeded", obj)
+		}
+	}
+}
+
+func TestCallValues(t *testing.T) {
+	s := newStore()
+	d, _ := NewDispatcher(s)
+	res, err := d.CallValues("Search", "Recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := res[0].([]Book)
+	if len(books) != 1 || books[0].Title != "Recovery Guarantees" {
+		t.Errorf("Search = %+v", books)
+	}
+	if s.calls != 1 {
+		t.Errorf("calls = %d", s.calls)
+	}
+}
+
+func TestCallValuesAppError(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	_, err := d.CallValues("Fail")
+	if err == nil || err.Error() != "out of stock" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallValuesArgCountMismatch(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	if _, err := d.CallValues("Search"); err == nil {
+		t.Error("missing arg accepted")
+	}
+	if _, err := d.CallValues("Search", "a", "b"); err == nil {
+		t.Error("extra arg accepted")
+	}
+}
+
+func TestCallValuesUnknownMethod(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	if _, err := d.CallValues("Nope"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestCallValuesTypeMismatch(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	if _, err := d.CallValues("Search", 42); err == nil {
+		t.Error("int for string accepted")
+	}
+}
+
+func TestInvokeEncodedRoundTrip(t *testing.T) {
+	s := newStore()
+	d, _ := NewDispatcher(s)
+	args, n, err := EncodeArgs("Transaction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, nres, appErr, err := d.InvokeEncoded("Search", args, n)
+	if err != nil || appErr != "" {
+		t.Fatalf("invoke: %v / %q", err, appErr)
+	}
+	if nres != 1 {
+		t.Fatalf("numResults = %d", nres)
+	}
+	out, err := DecodeResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := out[0].([]Book)
+	if len(books) != 1 || books[0].Title != "Transaction Processing" {
+		t.Errorf("decoded = %+v", books)
+	}
+}
+
+func TestInvokeEncodedAppErrorTravels(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	args, n, _ := EncodeArgs()
+	_, _, appErr, err := d.InvokeEncoded("Fail", args, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appErr != "out of stock" {
+		t.Errorf("appErr = %q", appErr)
+	}
+}
+
+func TestInvokeEncodedNumericCoercion(t *testing.T) {
+	s := newStore()
+	d, _ := NewDispatcher(s)
+	// NoResults takes int; send it an int64 (gob may widen).
+	args, n, _ := EncodeArgs(int64(7))
+	if _, _, _, err := d.InvokeEncoded("NoResults", args, n); err != nil {
+		t.Errorf("int64 -> int coercion failed: %v", err)
+	}
+}
+
+func TestInvokeEncodedRejectsBadInput(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	if _, _, _, err := d.InvokeEncoded("Nope", nil, 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, _, _, err := d.InvokeEncoded("Search", []byte("garbage"), 1); err == nil {
+		t.Error("garbage args accepted")
+	}
+	args, _, _ := EncodeArgs("a", "b")
+	if _, _, _, err := d.InvokeEncoded("Search", args, 2); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	argsStr, _, _ := EncodeArgs("x")
+	if _, _, _, err := d.InvokeEncoded("NoResults", argsStr, 1); err == nil {
+		t.Error("string for int accepted")
+	}
+}
+
+func TestEncodeArgsRejectsUntypedNil(t *testing.T) {
+	if _, _, err := EncodeArgs(nil); err == nil {
+		t.Error("untyped nil accepted")
+	}
+}
+
+func TestMethodWithNoResults(t *testing.T) {
+	d, _ := NewDispatcher(newStore())
+	args, n, _ := EncodeArgs(1)
+	results, nres, appErr, err := d.InvokeEncoded("NoResults", args, n)
+	if err != nil || appErr != "" || nres != 0 {
+		t.Fatalf("invoke: %v %q %d", err, appErr, nres)
+	}
+	out, err := DecodeResults(results)
+	if err != nil || len(out) != 0 {
+		t.Errorf("decode empty results: %v %v", out, err)
+	}
+}
+
+func TestObject(t *testing.T) {
+	s := newStore()
+	d, _ := NewDispatcher(s)
+	if d.Object() != any(s) {
+		t.Error("Object() lost the instance")
+	}
+}

@@ -1,0 +1,153 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// storeStub is a typed client surface over the generic call path.
+type storeStub struct {
+	Search    func(keyword string) ([]Book, error)
+	Add       func(b Book) (int, error)
+	Fail      func() error
+	NoResults func(x int) error
+
+	hidden func() error // unexported: ignored
+	Name   string       // non-func: ignored
+}
+
+// stubTransport routes stub calls straight into a dispatcher, like a
+// Ref would route them over the wire.
+func stubTransport(t *testing.T, obj any) CallFunc {
+	t.Helper()
+	d, err := NewDispatcher(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(method string, args ...any) ([]any, error) {
+		data, n, err := EncodeArgs(args...)
+		if err != nil {
+			return nil, err
+		}
+		results, _, appErr, err := d.InvokeEncoded(method, data, n)
+		if err != nil {
+			return nil, err
+		}
+		out, err := DecodeResults(results)
+		if err != nil {
+			return nil, err
+		}
+		if appErr != "" {
+			return out, errors.New(appErr)
+		}
+		return out, nil
+	}
+}
+
+func TestBindStubTypedCalls(t *testing.T) {
+	s := newStore()
+	var c storeStub
+	if err := BindStub(&c, stubTransport(t, s)); err != nil {
+		t.Fatal(err)
+	}
+	books, err := c.Search("Recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(books) != 1 || books[0].Title != "Recovery Guarantees" {
+		t.Errorf("Search = %+v", books)
+	}
+	n, err := c.Add(Book{Title: "New", Price: 10})
+	if err != nil || n != 3 {
+		t.Errorf("Add = %d, %v", n, err)
+	}
+	if err := c.Fail(); err == nil || err.Error() != "out of stock" {
+		t.Errorf("Fail err = %v", err)
+	}
+	if err := c.NoResults(1); err != nil {
+		t.Errorf("NoResults err = %v", err)
+	}
+	if c.hidden != nil {
+		t.Error("unexported field was bound")
+	}
+}
+
+func TestBindStubTransportErrors(t *testing.T) {
+	var c storeStub
+	boom := errors.New("network down")
+	if err := BindStub(&c, func(string, ...any) ([]any, error) {
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	books, err := c.Search("x")
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if books != nil {
+		t.Errorf("books = %v, want zero value", books)
+	}
+}
+
+func TestBindStubResultArityMismatch(t *testing.T) {
+	var c storeStub
+	if err := BindStub(&c, func(string, ...any) ([]any, error) {
+		return []any{1, 2, 3}, nil // Search declares one result
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search("x"); err == nil || !strings.Contains(err.Error(), "stub declares") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBindStubResultTypeMismatch(t *testing.T) {
+	var c storeStub
+	if err := BindStub(&c, func(string, ...any) ([]any, error) {
+		return []any{"not books"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search("x"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestBindStubNumericCoercion(t *testing.T) {
+	var c storeStub
+	if err := BindStub(&c, func(string, ...any) ([]any, error) {
+		return []any{int64(7)}, nil // Add declares int
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Add(Book{})
+	if err != nil || n != 7 {
+		t.Errorf("Add = %d, %v", n, err)
+	}
+}
+
+func TestBindStubValidation(t *testing.T) {
+	if err := BindStub(nil, nil); err == nil {
+		t.Error("nil stub accepted")
+	}
+	if err := BindStub(42, nil); err == nil {
+		t.Error("non-pointer accepted")
+	}
+	var s struct{ X int }
+	if err := BindStub(&s, nil); err == nil {
+		t.Error("struct with no func fields accepted")
+	}
+	var bad struct {
+		M func() int // no trailing error
+	}
+	if err := BindStub(&bad, nil); err == nil {
+		t.Error("signature without error accepted")
+	}
+	var variadic struct {
+		M func(...int) error
+	}
+	if err := BindStub(&variadic, nil); err == nil {
+		t.Error("variadic signature accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package rpc
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/msg"
+)
+
+// InvokeEncoded runs the named method from a gob-encoded argument
+// stream and produces the gob-encoded result stream — the full
+// marshalled path a cross-context call takes. The appErr return carries
+// the method's own error (the component stays alive; this is the
+// paper's "invalid argument exception indicates an error, but the
+// remote component is still alive" case); err reports infrastructure
+// failures (unknown method, undecodable or mismatched arguments).
+func (d *Dispatcher) InvokeEncoded(name string, args []byte, numArgs int) (results []byte, numResults int, appErr string, err error) {
+	m, ok := d.methods[name]
+	if !ok {
+		return nil, 0, "", fmt.Errorf("rpc: %T has no method %q", d.obj, name)
+	}
+	decoded, err := msg.DecodeAnySlice(args)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("rpc: %T.%s: %w", d.obj, name, err)
+	}
+	if len(decoded) != numArgs || numArgs != len(m.ParamTypes) {
+		return nil, 0, "", fmt.Errorf("rpc: %T.%s wants %d args, got %d",
+			d.obj, name, len(m.ParamTypes), len(decoded))
+	}
+	vals := make([]reflect.Value, len(decoded))
+	for i, a := range decoded {
+		v, err := coerce(a, m.ParamTypes[i])
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("rpc: %T.%s arg %d: %w", d.obj, name, i, err)
+		}
+		vals[i] = v
+	}
+	out, callErr := d.Call(name, vals)
+	if callErr != nil {
+		appErr = callErr.Error()
+		if appErr == "" {
+			appErr = "application error"
+		}
+	}
+	anyOut := make([]any, len(out))
+	for i, o := range out {
+		anyOut[i] = o.Interface()
+	}
+	results, err = msg.EncodeAnySlice(anyOut)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("rpc: %T.%s results: %w", d.obj, name, err)
+	}
+	return results, len(anyOut), appErr, nil
+}
+
+// coerce fits a decoded interface value to a declared parameter type.
+// Exact assignability always works; numeric kinds convert (gob loses
+// the distinction between int widths a caller may have used).
+func coerce(a any, want reflect.Type) (reflect.Value, error) {
+	v := reflect.ValueOf(a)
+	if !v.IsValid() {
+		return reflect.Zero(want), nil
+	}
+	if v.Type().AssignableTo(want) {
+		return v, nil
+	}
+	if isNumeric(v.Kind()) && isNumeric(want.Kind()) && v.Type().ConvertibleTo(want) {
+		return v.Convert(want), nil
+	}
+	return reflect.Value{}, fmt.Errorf("%s is not assignable to %s", v.Type(), want)
+}
+
+func isNumeric(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+// EncodeArgs marshals call arguments for the wire (the client-side half
+// of InvokeEncoded).
+func EncodeArgs(args ...any) ([]byte, int, error) {
+	data, err := msg.EncodeAnySlice(args)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, len(args), nil
+}
+
+// DecodeResults unmarshals a reply's result stream.
+func DecodeResults(data []byte) ([]any, error) {
+	return msg.DecodeAnySlice(data)
+}

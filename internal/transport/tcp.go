@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a Network over real sockets. Addresses are host:port strings.
+// Each request/response is a length-prefixed frame; client connections
+// are pooled per destination and redialed after failures, so a server
+// process that crashes and restarts on the same port is transparently
+// reconnected to — which is exactly the situation Phoenix recovery
+// produces.
+type TCP struct {
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[string]*tcpListener
+	conns     map[string]*tcpConn
+}
+
+// NewTCP returns a socket-based Network.
+func NewTCP() *TCP {
+	return &TCP{
+		DialTimeout: 2 * time.Second,
+		listeners:   make(map[string]*tcpListener),
+		conns:       make(map[string]*tcpConn),
+	}
+}
+
+type tcpListener struct {
+	ln     net.Listener
+	closed chan struct{}
+}
+
+// Listen implements Network: it binds addr and serves frames to h.
+func (t *TCP) Listen(addr string, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &tcpListener{ln: ln, closed: make(chan struct{})}
+	t.mu.Lock()
+	if old := t.listeners[addr]; old != nil {
+		old.ln.Close()
+	}
+	t.listeners[addr] = l
+	t.mu.Unlock()
+	go t.serve(l, h)
+	return nil
+}
+
+func (t *TCP) serve(l *tcpListener, h Handler) {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.closed:
+			default:
+				close(l.closed)
+			}
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				req, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				resp, err := h(req)
+				if err != nil {
+					// Surface the handler error as an error frame and
+					// drop the connection: handler errors mean the
+					// process is unavailable (crashed mid-call), and
+					// closing forces the client to redial — reaching a
+					// restarted process instead of this stale one.
+					writeFrame(conn, 1, []byte(err.Error()))
+					return
+				}
+				if err := writeFrame(conn, 0, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Unlisten implements Network.
+func (t *TCP) Unlisten(addr string) {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	delete(t.listeners, addr)
+	t.mu.Unlock()
+	if l != nil {
+		l.ln.Close()
+	}
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Send implements Network.
+func (t *TCP) Send(addr string, req []byte) ([]byte, error) {
+	t.mu.Lock()
+	c := t.conns[addr]
+	if c == nil {
+		c = &tcpConn{}
+		t.conns[addr] = c
+	}
+	t.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, addr, err)
+		}
+		c.conn = conn
+	}
+	resp, kind, err := roundTrip(c.conn, req)
+	if err != nil {
+		// The pooled connection may be stale (server restarted): redial
+		// once before giving up.
+		c.conn.Close()
+		conn, derr := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if derr != nil {
+			c.conn = nil
+			return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, addr, derr)
+		}
+		c.conn = conn
+		resp, kind, err = roundTrip(c.conn, req)
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, addr, err)
+		}
+	}
+	if kind == 1 {
+		return nil, fmt.Errorf("transport: remote handler: %s", resp)
+	}
+	return resp, nil
+}
+
+func roundTrip(conn net.Conn, req []byte) (resp []byte, kind byte, err error) {
+	if err := writeFrame(conn, 0, req); err != nil {
+		return nil, 0, err
+	}
+	return readFrameKind(conn)
+}
+
+// Frame format: 4-byte little-endian length, 1-byte kind (0 = data,
+// 1 = handler error), payload.
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, kind byte, p []byte) error {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(p)))
+	hdr[4] = kind
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(p)
+	return err
+}
+
+func readFrameKind(r io.Reader) ([]byte, byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil, 0, errors.New("transport: oversized frame")
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, 0, err
+	}
+	return p, hdr[4], nil
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	p, _, err := readFrameKind(r)
+	return p, err
+}
+
+// Close shuts down all listeners and pooled connections.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for addr, l := range t.listeners {
+		l.ln.Close()
+		delete(t.listeners, addr)
+	}
+	for addr, c := range t.conns {
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+		delete(t.conns, addr)
+	}
+}

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+)
+
+func echoUpper(req []byte) ([]byte, error) {
+	return bytes.ToUpper(req), nil
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	m := NewMem(nil, 0)
+	if err := m.Listen("evo1:shop", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Send("evo1:shop", []byte("books"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "BOOKS" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestMemUnavailable(t *testing.T) {
+	m := NewMem(nil, 0)
+	if _, err := m.Send("nowhere", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestMemUnlisten(t *testing.T) {
+	m := NewMem(nil, 0)
+	if err := m.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlisten("a")
+	if _, err := m.Send("a", []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("after Unlisten: %v, want ErrUnavailable", err)
+	}
+	// Re-listen (restarted process) works again.
+	if err := m.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Send("a", []byte("x")); err != nil {
+		t.Errorf("after re-listen: %v", err)
+	}
+}
+
+func TestMemNilHandlerRejected(t *testing.T) {
+	m := NewMem(nil, 0)
+	if err := m.Listen("a", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestMemLatencyCharged(t *testing.T) {
+	clk := disk.NewVirtualClock()
+	m := NewMem(clk, 200*time.Microsecond)
+	if err := m.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clk.Now()
+	if _, err := m.Send("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if adv := clk.Now().Sub(t0); adv != 200*time.Microsecond {
+		t.Errorf("latency charged = %v, want 200µs", adv)
+	}
+}
+
+func TestMemJitterAddsBoundedRandomDelay(t *testing.T) {
+	clk := disk.NewVirtualClock()
+	m := NewMem(clk, 100*time.Microsecond)
+	m.SetJitter(2*time.Millisecond, 7)
+	if err := m.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 50
+	for i := 0; i < n; i++ {
+		t0 := clk.Now()
+		if _, err := m.Send("a", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		d := clk.Now().Sub(t0)
+		if d < 100*time.Microsecond {
+			t.Fatalf("send %d took %v, below the base RTT", i, d)
+		}
+		if d > 100*time.Microsecond+4*time.Millisecond {
+			t.Fatalf("send %d took %v, above RTT+2*jitter", i, d)
+		}
+		total += d
+	}
+	// Mean extra delay should be near jitter (two directions × mean
+	// jitter/2 each).
+	mean := total / n
+	if mean < 1*time.Millisecond || mean > 3500*time.Microsecond {
+		t.Errorf("mean latency = %v, want ~2.1ms", mean)
+	}
+}
+
+func TestMemSeverHeal(t *testing.T) {
+	m := NewMem(nil, 0)
+	if err := m.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	m.Sever("a")
+	if _, err := m.Send("a", []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("severed: %v, want ErrUnavailable", err)
+	}
+	m.Heal("a")
+	if _, err := m.Send("a", []byte("x")); err != nil {
+		t.Errorf("healed: %v", err)
+	}
+}
+
+func TestMemHandlerError(t *testing.T) {
+	m := NewMem(nil, 0)
+	boom := errors.New("boom")
+	if err := m.Listen("a", func([]byte) ([]byte, error) { return nil, boom }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Send("a", nil); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestMemConcurrentSends(t *testing.T) {
+	m := NewMem(nil, 0)
+	var mu sync.Mutex
+	count := 0
+	if err := m.Listen("a", func(req []byte) ([]byte, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return req, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := m.Send("a", []byte(fmt.Sprintf("r%d", i)))
+			if err != nil || string(resp) != fmt.Sprintf("r%d", i) {
+				t.Errorf("send %d: %q %v", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if count != 50 {
+		t.Errorf("handled %d, want 50", count)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := freeAddr(t)
+	if err := tr.Listen(addr, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // reuses the pooled connection
+		resp, err := tr.Send(addr, []byte("phoenix"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "PHOENIX" {
+			t.Errorf("resp = %q", resp)
+		}
+	}
+}
+
+func TestTCPUnavailable(t *testing.T) {
+	tr := NewTCP()
+	tr.DialTimeout = 200 * time.Millisecond
+	defer tr.Close()
+	if _, err := tr.Send(freeAddr(t), []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestTCPServerRestartReconnects(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := freeAddr(t)
+	if err := tr.Listen(addr, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Send(addr, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the server, restart on the same address, send again: the
+	// stale pooled connection must be redialed transparently.
+	tr.Unlisten(addr)
+	time.Sleep(20 * time.Millisecond)
+	if err := tr.Listen(addr, echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.Send(addr, []byte("b"))
+	if err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	if string(resp) != "B" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := freeAddr(t)
+	if err := tr.Listen(addr, func([]byte) ([]byte, error) {
+		return nil, errors.New("server-side failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tr.Send(addr, []byte("x"))
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want non-unavailable handler error", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := freeAddr(t)
+	if err := tr.Listen(addr, func(req []byte) ([]byte, error) { return req, nil }); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	resp, err := tr.Send(addr, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestTCPNilHandlerRejected(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Listen("127.0.0.1:0", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}

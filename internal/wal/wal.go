@@ -1,0 +1,650 @@
+// Package wal implements the process-local recovery log of Phoenix/App.
+//
+// Each virtual process owns one log managed by a log manager (paper
+// Section 4.1: "We manage disk files on a per-process basis to simplify
+// file access. Logging is performed through a log manager in a
+// process."). Records accumulate in a buffer and are written at a log
+// force or when the buffer fills (Section 5: "Log records accumulate in
+// a buffer and are written at a log force or full buffer."). A force
+// makes every previously appended record stable, which is what lets the
+// optimized logging discipline of Section 3.1 combine the forces of
+// several receive messages into the single force at the next send.
+//
+// The log is a directory of fixed-capacity segment files named by their
+// starting LSN. LSNs are positions in one contiguous address space that
+// spans segments, so records keep their LSNs forever; once every
+// context's restart point has moved past a segment (checkpointing,
+// Section 4), TrimHead deletes the dead prefix — the space reclamation
+// that makes the paper's long-lived components operable.
+//
+// The package is schema-agnostic: it frames opaque typed payloads with
+// lengths and checksums. The Phoenix runtime defines the payload
+// encodings. A torn record at the tail — a crash in the middle of a
+// physical write — is detected by checksum at open time and the log is
+// truncated to the last complete record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+)
+
+// RecordType tags a log record's payload schema. The WAL treats it as
+// opaque; the runtime defines the values (see package core).
+type RecordType uint8
+
+// Record is a single log record as returned by Read and Scan.
+type Record struct {
+	LSN     ids.LSN
+	Type    RecordType
+	Payload []byte
+}
+
+// Stats counts logical and physical log activity. The experiment
+// harness reports Forces for paper Table 8 ("Number of Forces").
+type Stats struct {
+	// Appends is the number of records appended.
+	Appends int64
+	// Forces is the number of log forces that reached the device
+	// (forces with no dirty data are free and not counted).
+	Forces int64
+	// PhysicalWrites is the number of buffer flushes to a file.
+	PhysicalWrites int64
+	// BytesWritten is the total payload+framing bytes flushed.
+	BytesWritten int64
+	// Segments is the current number of segment files.
+	Segments int
+	// TrimmedBytes counts log space reclaimed by TrimHead.
+	TrimmedBytes int64
+}
+
+const (
+	segHeaderSize = 16
+	frameSize     = 4 + 1 + 4 // length + type + crc32
+	magic         = "PHXSEG1\n"
+	maxBuffered   = 1 << 20 // flush (without sync) past 1 MiB of buffer
+
+	// firstLSN is where a fresh log starts; LSN 0 stays the nil value.
+	firstLSN = ids.LSN(16)
+)
+
+// DefaultSegmentBytes is the roll-over threshold for segment files.
+const DefaultSegmentBytes = 4 << 20
+
+var (
+	// ErrNotFound reports a read at an LSN with no record (including
+	// LSNs trimmed away).
+	ErrNotFound = errors.New("wal: no record at LSN")
+	// ErrClosed reports use of a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrStopScan can be returned by a Scan callback to stop early
+	// without Scan reporting an error.
+	ErrStopScan = errors.New("wal: stop scan")
+)
+
+// segment is one on-disk file covering LSNs [start, start+size).
+type segment struct {
+	f     *os.File
+	path  string
+	start ids.LSN
+	size  int64 // record bytes in the file (excluding the header)
+}
+
+func (s *segment) end() ids.LSN { return s.start + ids.LSN(s.size) }
+
+// Log is a process-local recovery log. It is safe for concurrent use;
+// Append and Force serialize internally (which is exactly the paper's
+// force-combining: contexts sharing the process log piggyback on each
+// other's forces).
+type Log struct {
+	dir          string
+	model        disk.Model
+	segmentBytes int64
+
+	mu       sync.Mutex
+	segs     []*segment // ascending by start; last is active
+	buf      []byte
+	bufBase  ids.LSN // LSN of buf[0]
+	synced   ids.LSN // stable watermark (survives Discard)
+	unsynced map[*segment]bool
+	dirty    bool // appended records not yet synced
+	flushed  bool // buffer empty but some file not yet synced
+	closed   bool
+	stats    Stats
+}
+
+// Open opens (creating if necessary) the log directory at dir, verifies
+// segment headers, truncates any torn tail, and returns a log manager
+// whose physical writes and syncs are accounted to model. A nil model
+// means disk.HostModel.
+func Open(dir string, model disk.Model) (*Log, error) {
+	if model == nil {
+		model = disk.HostModel{}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	l := &Log{
+		dir:          dir,
+		model:        model,
+		segmentBytes: DefaultSegmentBytes,
+		unsynced:     make(map[*segment]bool),
+	}
+	if err := l.load(); err != nil {
+		l.closeSegs()
+		return nil, err
+	}
+	return l, nil
+}
+
+func segName(start ids.LSN) string {
+	return fmt.Sprintf("%020d.seg", uint64(start))
+}
+
+func (l *Log) load() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	var starts []ids.LSN
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil {
+			return fmt.Errorf("wal: stray segment name %q", name)
+		}
+		starts = append(starts, ids.LSN(n))
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	if len(starts) == 0 {
+		seg, err := l.createSegment(firstLSN)
+		if err != nil {
+			return err
+		}
+		l.segs = []*segment{seg}
+		l.bufBase = firstLSN
+		l.synced = firstLSN
+		return nil
+	}
+
+	for i, start := range starts {
+		seg, err := l.openSegment(start)
+		if err != nil {
+			return err
+		}
+		if i > 0 && l.segs[i-1].end() != seg.start {
+			return fmt.Errorf("wal: gap between segments %v and %v", l.segs[i-1].end(), seg.start)
+		}
+		l.segs = append(l.segs, seg)
+	}
+	// Only the active (last) segment can have a torn tail.
+	active := l.segs[len(l.segs)-1]
+	validEnd, err := l.scanValidEnd(active)
+	if err != nil {
+		return err
+	}
+	if validEnd < active.end() {
+		if err := active.f.Truncate(segHeaderSize + int64(validEnd-active.start)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := active.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync truncation: %w", err)
+		}
+		active.size = int64(validEnd - active.start)
+	}
+	l.bufBase = active.end()
+	l.synced = active.end()
+	return nil
+}
+
+func (l *Log) createSegment(start ids.LSN) (*segment, error) {
+	path := filepath.Join(l.dir, segName(start))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(start))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	return &segment{f: f, path: path, start: start}, nil
+}
+
+func (l *Log) openSegment(start ids.LSN) (*segment, error) {
+	path := filepath.Join(l.dir, segName(start))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() < segHeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("wal: segment %s too short", path)
+	}
+	hdr := make([]byte, segHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("wal: bad segment header in %s", path)
+	}
+	if got := ids.LSN(binary.LittleEndian.Uint64(hdr[8:])); got != start {
+		f.Close()
+		return nil, fmt.Errorf("wal: segment %s claims start %v", path, got)
+	}
+	return &segment{f: f, path: path, start: start, size: fi.Size() - segHeaderSize}, nil
+}
+
+// scanValidEnd walks the active segment's records and returns the LSN
+// just past the last complete, checksum-valid record.
+func (l *Log) scanValidEnd(s *segment) (ids.LSN, error) {
+	off := int64(0)
+	frame := make([]byte, frameSize)
+	for off+frameSize <= s.size {
+		if _, err := s.f.ReadAt(frame, segHeaderSize+off); err != nil {
+			return 0, fmt.Errorf("wal: read frame: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(frame))
+		if n > s.size-off-frameSize {
+			break // torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := s.f.ReadAt(payload, segHeaderSize+off+frameSize); err != nil {
+			return 0, fmt.Errorf("wal: read payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(append([]byte{frame[4]}, payload...)) !=
+			binary.LittleEndian.Uint32(frame[5:9]) {
+			break // corrupt record: stop here
+		}
+		off += frameSize + n
+	}
+	return s.start + ids.LSN(off), nil
+}
+
+func (l *Log) closeSegs() {
+	for _, s := range l.segs {
+		s.f.Close()
+	}
+}
+
+// active returns the tail segment (always present while open).
+func (l *Log) active() *segment { return l.segs[len(l.segs)-1] }
+
+// Append adds a record to the log buffer and returns its LSN. The
+// record is not stable until the next Force (or until recovery-time
+// reads flush it to a file, which still does not sync it).
+func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ids.NilLSN, ErrClosed
+	}
+	// Records never straddle segment files: if this record would push
+	// the active segment past its capacity, flush what is pending and
+	// roll first, so the record begins the new segment. (An oversized
+	// single record gets a segment to itself and may exceed the
+	// threshold.)
+	recLen := int64(frameSize + len(payload))
+	s := l.active()
+	if s.size+int64(len(l.buf))+recLen > l.segmentBytes &&
+		s.size+int64(len(l.buf)) > 0 {
+		if err := l.flushLocked(); err != nil {
+			return ids.NilLSN, err
+		}
+		next, err := l.createSegment(l.active().end())
+		if err != nil {
+			return ids.NilLSN, err
+		}
+		l.segs = append(l.segs, next)
+	}
+
+	lsn := l.bufBase + ids.LSN(len(l.buf))
+	frame := make([]byte, frameSize)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	frame[4] = byte(t)
+	crc := crc32.ChecksumIEEE(append([]byte{byte(t)}, payload...))
+	binary.LittleEndian.PutUint32(frame[5:9], crc)
+	l.buf = append(l.buf, frame...)
+	l.buf = append(l.buf, payload...)
+	l.dirty = true
+	l.stats.Appends++
+	if len(l.buf) >= maxBuffered {
+		if err := l.flushLocked(); err != nil {
+			return ids.NilLSN, err
+		}
+	}
+	return lsn, nil
+}
+
+// flushLocked writes the buffer into the active segment without
+// syncing. Append's roll logic guarantees it fits.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	s := l.active()
+	n := int64(len(l.buf))
+	if _, err := s.f.WriteAt(l.buf, segHeaderSize+s.size); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	l.model.Write(int(n))
+	s.size += n
+	l.unsynced[s] = true
+	l.buf = l.buf[:0]
+	l.bufBase += ids.LSN(n)
+	l.stats.PhysicalWrites++
+	l.stats.BytesWritten += n
+	l.flushed = true
+	return nil
+}
+
+// Force makes every appended record stable: it flushes the buffer and
+// syncs the touched segment files (charging the device model once).
+// Forcing a clean log is free and is not counted in Stats.Forces.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.dirty && !l.flushed {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	for s := range l.unsynced {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		delete(l.unsynced, s)
+	}
+	l.model.Sync()
+	l.synced = l.bufBase
+	l.dirty = false
+	l.flushed = false
+	l.stats.Forces++
+	return nil
+}
+
+// Flush writes buffered records to the files without syncing. Paper
+// Section 4.3: "There is no need to force the log immediately after
+// either a state record or a process checkpoint is written" — but
+// recovery-time reads need the bytes in the file.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.flushLocked()
+}
+
+// End returns the LSN one past the last appended record.
+func (l *Log) End() ids.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bufBase + ids.LSN(len(l.buf))
+}
+
+// Start returns the LSN of the oldest retained record position.
+func (l *Log) Start() ids.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].start
+}
+
+// findSegment returns the segment containing lsn, or nil.
+func (l *Log) findSegment(lsn ids.LSN) *segment {
+	i := sort.Search(len(l.segs), func(i int) bool { return l.segs[i].end() > lsn })
+	if i == len(l.segs) || lsn < l.segs[i].start {
+		return nil
+	}
+	return l.segs[i]
+}
+
+// Read returns the record at lsn. It flushes the buffer first so that
+// records appended but not yet forced are readable.
+func (l *Log) Read(lsn ids.LSN) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		return Record{}, err
+	}
+	return l.readLocked(lsn)
+}
+
+func (l *Log) readLocked(lsn ids.LSN) (Record, error) {
+	s := l.findSegment(lsn)
+	if s == nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, lsn)
+	}
+	off := segHeaderSize + int64(lsn-s.start)
+	frame := make([]byte, frameSize)
+	if off+frameSize > segHeaderSize+s.size {
+		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, lsn)
+	}
+	if _, err := s.f.ReadAt(frame, off); err != nil {
+		return Record{}, fmt.Errorf("wal: read frame: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(frame))
+	if off+frameSize+n > segHeaderSize+s.size {
+		return Record{}, fmt.Errorf("%w: %v (record extends past end)", ErrNotFound, lsn)
+	}
+	payload := make([]byte, n)
+	if _, err := s.f.ReadAt(payload, off+frameSize); err != nil {
+		return Record{}, fmt.Errorf("wal: read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(append([]byte{frame[4]}, payload...)) !=
+		binary.LittleEndian.Uint32(frame[5:9]) {
+		return Record{}, fmt.Errorf("wal: checksum mismatch at %v", lsn)
+	}
+	return Record{LSN: lsn, Type: RecordType(frame[4]), Payload: payload}, nil
+}
+
+// Scan calls fn for every record from lsn `from` (or the log start if
+// from is nil or trimmed away) to the end of the log, in LSN order.
+func (l *Log) Scan(from ids.LSN, fn func(Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	end := l.bufBase
+	start := l.segs[0].start
+	l.mu.Unlock()
+
+	lsn := from
+	if lsn.IsNil() || lsn < start {
+		lsn = start
+	}
+	for lsn+frameSize <= end {
+		l.mu.Lock()
+		// Segment boundaries: a position at a segment's end is the
+		// start of the next segment.
+		if s := l.findSegment(lsn); s == nil {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %v (scan)", ErrNotFound, lsn)
+		}
+		rec, err := l.readLocked(lsn)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+		lsn += ids.LSN(frameSize + len(rec.Payload))
+	}
+	return nil
+}
+
+// Next returns the LSN of the record following the record at lsn.
+func (l *Log) Next(lsn ids.LSN) (ids.LSN, error) {
+	rec, err := l.Read(lsn)
+	if err != nil {
+		return ids.NilLSN, err
+	}
+	return lsn + ids.LSN(frameSize+len(rec.Payload)), nil
+}
+
+// TrimHead deletes whole segments that lie entirely before keep: every
+// record at LSN >= keep stays readable. It is called once recovery no
+// longer needs the prefix (all restart points and last-call reply
+// records have moved past it). Trimming never touches the active
+// segment.
+func (l *Log) TrimHead(keep ids.LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	cut := 0
+	for cut < len(l.segs)-1 && l.segs[cut].end() <= keep {
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	for _, s := range l.segs[:cut] {
+		s.f.Close()
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: trim %s: %w", s.path, err)
+		}
+		delete(l.unsynced, s)
+		l.stats.TrimmedBytes += s.size
+	}
+	l.segs = append([]*segment{}, l.segs[cut:]...)
+	return nil
+}
+
+// SegmentPaths returns the on-disk segment files, oldest first (used
+// by tests and operational tooling).
+func (l *Log) SegmentPaths() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.segs))
+	for i, s := range l.segs {
+		out[i] = s.path
+	}
+	return out
+}
+
+// SetSegmentBytes overrides the roll-over threshold (tests use small
+// segments to exercise rolling and trimming).
+func (l *Log) SetSegmentBytes(n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > 0 {
+		l.segmentBytes = n
+	}
+}
+
+// Stats returns a snapshot of the log's activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Segments = len(l.segs)
+	return s
+}
+
+// ResetStats zeroes the activity counters (used between experiment runs).
+func (l *Log) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// Close flushes and closes the log without syncing (a crash may follow
+// Close in tests; durability comes only from Force).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		l.closed = true
+		l.closeSegs()
+		return err
+	}
+	l.closed = true
+	l.closeSegs()
+	return nil
+}
+
+// Discard closes the log simulating a process crash: buffered records
+// are dropped and the files are truncated back to the last forced
+// position, so only data made stable by Force survives. (A real crash
+// loses whatever the OS page cache had not written; truncating to the
+// sync watermark models the worst permitted loss, which redo recovery
+// must tolerate.)
+func (l *Log) Discard() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.buf = nil
+	var firstErr error
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		s := l.segs[i]
+		switch {
+		case s.start >= l.synced:
+			// Entirely unsynced segment: it never became durable.
+			s.f.Close()
+			if err := os.Remove(s.path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case s.end() > l.synced:
+			if err := s.f.Truncate(segHeaderSize + int64(l.synced-s.start)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.f.Close()
+		default:
+			s.f.Close()
+		}
+	}
+	l.segs = nil
+	return firstErr
+}

@@ -1,0 +1,558 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "proc.log")
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, dir
+}
+
+// activeSegPath returns the tail segment file for direct manipulation.
+func activeSegPath(t *testing.T, l *Log) string {
+	t.Helper()
+	paths := l.SegmentPaths()
+	if len(paths) == 0 {
+		t.Fatal("no segments")
+	}
+	return paths[len(paths)-1]
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	lsn, err := l.Append(RecordType(3), []byte("hello phoenix"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	rec, err := l.Read(lsn)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if rec.Type != RecordType(3) || string(rec.Payload) != "hello phoenix" {
+		t.Errorf("got %v %q", rec.Type, rec.Payload)
+	}
+	if rec.LSN != lsn {
+		t.Errorf("LSN = %v, want %v", rec.LSN, lsn)
+	}
+}
+
+func TestLSNsAreMonotonic(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	var prev ids.LSN
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append(1, bytes.Repeat([]byte("x"), i))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if lsn <= prev {
+			t.Fatalf("LSN %v not > previous %v", lsn, prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestForcedRecordsSurviveReopen(t *testing.T) {
+	l, path := openTemp(t)
+	var lsns []ids.LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(RecordType(i%4+1), []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatalf("Force: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	for i, lsn := range lsns {
+		rec, err := l2.Read(lsn)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", lsn, err)
+		}
+		if len(rec.Payload) != 1 || rec.Payload[0] != byte(i) {
+			t.Errorf("record %d payload = %v", i, rec.Payload)
+		}
+	}
+}
+
+func TestUnforcedRecordsLostOnDiscard(t *testing.T) {
+	l, path := openTemp(t)
+	forced, err := l.Append(1, []byte("survives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := l.Append(1, []byte("lost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Discard(); err != nil {
+		t.Fatalf("Discard: %v", err)
+	}
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if _, err := l2.Read(forced); err != nil {
+		t.Errorf("forced record lost: %v", err)
+	}
+	if _, err := l2.Read(lost); err == nil {
+		t.Error("unforced record survived Discard")
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	l, path := openTemp(t)
+	good, err := l.Append(1, []byte("good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	seg := activeSegPath(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append garbage that is not a valid record.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x00, 0x13, 0x37, 0x42}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if _, err := l2.Read(good); err != nil {
+		t.Errorf("good record lost: %v", err)
+	}
+	// New appends must land where the torn tail was truncated.
+	lsn, err := l2.Append(2, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l2.Read(lsn)
+	if err != nil || string(rec.Payload) != "after" {
+		t.Errorf("post-truncation append unreadable: %v %v", rec, err)
+	}
+}
+
+func TestCorruptRecordStopsScanAtOpen(t *testing.T) {
+	l, path := openTemp(t)
+	if _, err := l.Append(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	second, err := l.Append(1, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	seg := activeSegPath(t, l)
+	l.Close()
+	// Flip a byte inside the second record's payload. In the first
+	// segment (start LSN 16, 16-byte header) the file offset of a
+	// record equals its LSN.
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, int64(second)+frameSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.End() != second {
+		t.Errorf("End = %v, want truncation at %v", l2.End(), second)
+	}
+}
+
+func TestScanOrderAndStop(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(RecordType(1), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []byte
+	err := l.Scan(ids.NilLSN, func(r Record) error {
+		seen = append(seen, r.Payload[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("scanned %d records, want %d", len(seen), n)
+	}
+	for i, b := range seen {
+		if b != byte(i) {
+			t.Fatalf("out of order at %d: %d", i, b)
+		}
+	}
+	// Early stop via ErrStopScan.
+	count := 0
+	err = l.Scan(ids.NilLSN, func(r Record) error {
+		count++
+		if count == 5 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil || count != 5 {
+		t.Errorf("early stop: err=%v count=%d", err, count)
+	}
+}
+
+func TestScanFromMiddle(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	var lsns []ids.LSN
+	for i := 0; i < 10; i++ {
+		lsn, _ := l.Append(1, []byte{byte(i)})
+		lsns = append(lsns, lsn)
+	}
+	var seen []byte
+	if err := l.Scan(lsns[6], func(r Record) error {
+		seen = append(seen, r.Payload[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 || seen[0] != 6 {
+		t.Errorf("scan from middle = %v", seen)
+	}
+}
+
+func TestNext(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	a, _ := l.Append(1, []byte("aa"))
+	b, _ := l.Append(1, []byte("bb"))
+	next, err := l.Next(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != b {
+		t.Errorf("Next(%v) = %v, want %v", a, next, b)
+	}
+}
+
+func TestForceOnCleanLogIsFree(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if _, err := l.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Forces; got != 1 {
+		t.Errorf("Forces = %d, want 1 (clean forces are free)", got)
+	}
+}
+
+func TestFlushMakesReadableWithoutForce(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	lsn, _ := l.Append(1, []byte("buffered"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l.Read(lsn)
+	if err != nil || string(rec.Payload) != "buffered" {
+		t.Errorf("read after flush: %v %v", rec, err)
+	}
+	if got := l.Stats().Forces; got != 0 {
+		t.Errorf("Flush must not count as force, got %d", got)
+	}
+}
+
+func TestFlushThenForceStillSyncs(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if _, err := l.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Forces; got != 1 {
+		t.Errorf("Forces = %d, want 1 (flushed data still needs the sync)", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	model := disk.NewSimDisk(disk.DefaultParams(), disk.NewVirtualClock())
+	path := filepath.Join(t.TempDir(), "p.log")
+	l, err := Open(path, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Force(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Appends != 3 || s.Forces != 3 || s.PhysicalWrites != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BytesWritten < 3*int64(len("payload")) {
+		t.Errorf("BytesWritten = %d too small", s.BytesWritten)
+	}
+	w, syncs, _ := model.Stats()
+	if w != 3 || syncs != 3 {
+		t.Errorf("device saw %d writes %d syncs, want 3/3", w, syncs)
+	}
+	l.ResetStats()
+	if got := l.Stats(); got.Appends != 0 || got.Forces != 0 || got.PhysicalWrites != 0 {
+		t.Errorf("ResetStats did not zero: %+v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if _, err := l.Read(ids.LSN(9999)); err == nil {
+		t.Error("Read past end succeeded")
+	}
+	if _, err := l.Read(ids.LSN(1)); err == nil {
+		t.Error("Read inside header succeeded")
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	l, _ := openTemp(t)
+	l.Close()
+	if _, err := l.Append(1, nil); err != ErrClosed {
+		t.Errorf("Append after close: %v", err)
+	}
+	if err := l.Force(); err != ErrClosed {
+		t.Errorf("Force after close: %v", err)
+	}
+	if _, err := l.Read(ids.LSN(16)); err != ErrClosed {
+		t.Errorf("Read after close: %v", err)
+	}
+	if err := l.Scan(ids.NilLSN, nil); err != ErrClosed {
+		t.Errorf("Scan after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(16)),
+		[]byte("NOTALOGFILE------"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Error("Open accepted a bad segment header")
+	}
+}
+
+func TestStraySegmentNameRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hello.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Error("Open accepted a stray segment name")
+	}
+}
+
+func TestLargeBufferAutoFlush(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	big := bytes.Repeat([]byte("z"), maxBuffered/2+1)
+	if _, err := l.Append(1, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().PhysicalWrites; got == 0 {
+		t.Error("full buffer did not auto-flush")
+	}
+	if got := l.Stats().Forces; got != 0 {
+		t.Error("auto-flush must not sync")
+	}
+}
+
+// TestAppendScanProperty: any sequence of appended payloads is returned
+// by a full scan, in order, byte-for-byte.
+func TestAppendScanProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		path := filepath.Join(t.TempDir(), "q.log")
+		l, err := Open(path, nil)
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+		for _, p := range payloads {
+			if _, err := l.Append(2, p); err != nil {
+				return false
+			}
+		}
+		var got [][]byte
+		if err := l.Scan(ids.NilLSN, func(r Record) error {
+			cp := make([]byte, len(r.Payload))
+			copy(cp, r.Payload)
+			got = append(got, cp)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReopenIdempotent: reopening a cleanly forced log any number of
+// times neither loses nor duplicates records.
+func TestReopenIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.log")
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(1, []byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	for round := 0; round < 3; round++ {
+		l, err := Open(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := l.Scan(ids.NilLSN, func(r Record) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("round %d: %d records, want 5", round, n)
+		}
+		l.Close()
+	}
+}
+
+func TestWellKnownRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wk")
+	if _, err := LoadWellKnownLSN(path); err != ErrNoWellKnown {
+		t.Errorf("missing file: err = %v, want ErrNoWellKnown", err)
+	}
+	if err := SaveWellKnownLSN(path, ids.LSN(12345)); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := LoadWellKnownLSN(path)
+	if err != nil || lsn != ids.LSN(12345) {
+		t.Errorf("load = %v, %v", lsn, err)
+	}
+	// Overwrite with a new value.
+	if err := SaveWellKnownLSN(path, ids.LSN(99)); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err = LoadWellKnownLSN(path)
+	if err != nil || lsn != ids.LSN(99) {
+		t.Errorf("reload = %v, %v", lsn, err)
+	}
+}
+
+func TestWellKnownCorruptRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wk")
+	if err := SaveWellKnownLSN(path, ids.LSN(7)); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWellKnownLSN(path); err != ErrNoWellKnown {
+		t.Errorf("corrupt file: err = %v, want ErrNoWellKnown", err)
+	}
+	// Short file.
+	if err := os.WriteFile(path, []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWellKnownLSN(path); err != ErrNoWellKnown {
+		t.Errorf("short file: err = %v, want ErrNoWellKnown", err)
+	}
+}

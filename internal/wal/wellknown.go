@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+
+	"repro/internal/ids"
+)
+
+// The well-known file of paper Section 4.3: "Once a process checkpoint
+// has been flushed to the log ... the log manager writes and forces the
+// LSN of the begin checkpoint record into a well-known file. This LSN
+// always points to a process checkpoint (if exists)."
+//
+// The file holds a fixed 12-byte record (LSN + CRC); the write is a
+// single sector-sized overwrite, which is atomic enough for a
+// fixed-size record, and the CRC rejects a torn update, in which case
+// recovery falls back to scanning the log from the very beginning —
+// exactly the paper's "If the LSN does not exist, the log is examined
+// from the very beginning."
+
+// ErrNoWellKnown reports that the well-known file is absent or
+// unreadable, so recovery must scan from the log start.
+var ErrNoWellKnown = errors.New("wal: no well-known checkpoint LSN")
+
+// SaveWellKnownLSN durably records lsn in the well-known file at path.
+func SaveWellKnownLSN(path string, lsn ids.LSN) error {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf, uint64(lsn))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[:8]))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open well-known file: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("wal: write well-known file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync well-known file: %w", err)
+	}
+	return nil
+}
+
+// LoadWellKnownLSN reads the last durably recorded checkpoint LSN.
+// It returns ErrNoWellKnown if the file is missing, short, or corrupt.
+func LoadWellKnownLSN(path string) (ids.LSN, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ids.NilLSN, ErrNoWellKnown
+	}
+	if err != nil {
+		return ids.NilLSN, fmt.Errorf("wal: read well-known file: %w", err)
+	}
+	if len(buf) < 12 {
+		return ids.NilLSN, ErrNoWellKnown
+	}
+	if crc32.ChecksumIEEE(buf[:8]) != binary.LittleEndian.Uint32(buf[8:12]) {
+		return ids.NilLSN, ErrNoWellKnown
+	}
+	return ids.LSN(binary.LittleEndian.Uint64(buf[:8])), nil
+}
