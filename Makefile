@@ -1,0 +1,20 @@
+# Development entry points. `make ci` is what the GitHub workflow runs.
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/core/ ./internal/wal/
+
+bench:
+	go run ./cmd/phoenix-bench -scale 0.05 -calls 30

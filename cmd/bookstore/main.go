@@ -5,6 +5,12 @@
 //
 //	bookstore -sessions 20 -level specialized -chaos
 //	bookstore -interactive
+//	bookstore -interactive -debug 127.0.0.1:8642   # live metrics endpoint
+//
+// With -debug, the runtime metrics registry is served as JSON at
+// http://<addr>/debug/phoenixvars while the program runs — watch the
+// force, interception and recovery counters move as sessions execute
+// or chaos crashes processes.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	phoenix "repro"
 	"repro/internal/bookstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,8 +37,18 @@ func main() {
 		seed        = flag.Int64("seed", 1, "chaos randomness seed")
 		dir         = flag.String("dir", "", "state directory (default: temp)")
 		interactive = flag.Bool("interactive", false, "run the console BookBuyer instead of the load generator")
+		debugAddr   = flag.String("debug", "", "serve runtime metrics as JSON on this address (e.g. 127.0.0.1:8642)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s%s\n", srv.Addr(), obs.DebugPath)
+	}
 
 	var level bookstore.Level
 	switch *levelStr {

@@ -9,6 +9,13 @@
 //	phoenix-bench -experiment table4      # one experiment
 //	phoenix-bench -scale 0.05 -calls 30   # 20x compressed clock, fewer calls
 //	phoenix-bench -list                   # show experiment IDs
+//	phoenix-bench -json                   # machine-readable tables + metrics
+//	phoenix-bench -metrics=false          # suppress the per-run metric dump
+//
+// Each experiment also reports the runtime metrics it generated — the
+// obs counter deltas for that run: log appends and forces by site,
+// interceptions by algorithm, record counts by kind. The counters are
+// the same ones the tests assert the paper's invariants on.
 //
 // The simulated disks sleep on a scalable clock: -scale 1 runs in real
 // time (a few minutes for the full suite); smaller scales compress the
@@ -16,20 +23,35 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
+
+// runResult is one experiment's JSON form: the rendered table plus the
+// metric deltas the run produced.
+type runResult struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Cols    []string     `json:"cols"`
+	Rows    [][]string   `json:"rows"`
+	Notes   []string     `json:"notes,omitempty"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID to run (default: all)")
-		scale      = flag.Float64("scale", 0.2, "clock scale: 1 = real time, 0.05 = 20x compressed")
-		calls      = flag.Int("calls", 60, "iterations per measured cell")
-		seed       = flag.Int64("seed", 20040330, "random seed for jitter and phase noise")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		experiment  = flag.String("experiment", "", "experiment ID to run (default: all)")
+		scale       = flag.Float64("scale", 0.2, "clock scale: 1 = real time, 0.05 = 20x compressed")
+		calls       = flag.Int("calls", 60, "iterations per measured cell")
+		seed        = flag.Int64("seed", 20040330, "random seed for jitter and phase noise")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut     = flag.Bool("json", false, "emit tables and metric snapshots as JSON")
+		showMetrics = flag.Bool("metrics", true, "print the metric deltas of each experiment")
 	)
 	flag.Parse()
 
@@ -54,13 +76,44 @@ func main() {
 		exps = bench.All()
 	}
 
+	var results []runResult
 	for _, e := range exps {
-		fmt.Printf("running %s ...\n", e.ID)
+		if !*jsonOut {
+			fmt.Printf("running %s ...\n", e.ID)
+		}
+		// Experiments build their universes without an explicit
+		// registry, so their runtime metrics land in the default one;
+		// the snapshot diff isolates this experiment's share.
+		before := obs.Default().Snapshot()
 		tab, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phoenix-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		delta := obs.Default().Snapshot().Diff(before)
+		if *jsonOut {
+			results = append(results, runResult{
+				ID: tab.ID, Title: tab.Title, Cols: tab.Cols,
+				Rows: tab.Rows, Notes: tab.Notes, Metrics: delta,
+			})
+			continue
+		}
 		tab.Render(os.Stdout)
+		if *showMetrics && !delta.Empty() {
+			fmt.Printf("%s — runtime metrics for this run\n", tab.ID)
+			delta.WriteText(os.Stdout, "  ")
+			fmt.Println()
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Experiments []runResult `json:"experiments"`
+		}{results}); err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-bench: encode: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

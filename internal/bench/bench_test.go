@@ -174,7 +174,10 @@ func TestTable5Shape(t *testing.T) {
 	// cross-context call.
 	sub := cellFloat(t, tab, "Persistent→Subordinate", "Local")
 	ro := cellFloat(t, tab, "Persistent→Read-only", "Local")
-	if sub*10 > ro {
+	// ro can measure 0 when a concurrent sleeper's clock correction
+	// swallows the whole (microsecond) window; the ratio is meaningless
+	// then, so only compare against a real measurement.
+	if ro > 0 && sub*10 > ro {
 		t.Errorf("subordinate %v ms not well below cross-context %v ms", sub, ro)
 	}
 }

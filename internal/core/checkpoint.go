@@ -70,7 +70,9 @@ func (cx *Context) saveStateLocked() error {
 	cx.restartLSN = lsn
 	p.mu.Unlock()
 	cx.callsSinceSave = 0
-	p.emit(EventStateSave, cx.uri, "state record at %v", lsn)
+	p.obs.StateSaves.Inc()
+	p.emitEvent(Event{Kind: EventStateSave, Context: cx.uri, LSN: lsn,
+		Detail: fmt.Sprintf("state record at %v", lsn)})
 	return nil
 }
 
@@ -153,6 +155,8 @@ func (p *Process) checkpointLocked() error {
 	p.ckptMu.Lock()
 	p.pendingCkpt = begin
 	p.ckptMu.Unlock()
-	p.emit(EventCheckpoint, "", "begin at %v, %d contexts", begin, len(entries))
+	p.obs.Checkpoints.Inc()
+	p.emitEvent(Event{Kind: EventCheckpoint, LSN: begin,
+		Detail: fmt.Sprintf("begin at %v, %d contexts", begin, len(entries))})
 	return nil
 }

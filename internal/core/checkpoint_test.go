@@ -192,7 +192,7 @@ func TestDuplicateAnsweredAfterStateRestore(t *testing.T) {
 	}
 	// Force the log so the state record and reply body are stable,
 	// then crash.
-	if err := p.force(); err != nil {
+	if err := p.force(nil); err != nil {
 		t.Fatal(err)
 	}
 	_ = counter

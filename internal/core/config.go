@@ -13,6 +13,8 @@ package core
 
 import (
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LogMode selects the logging discipline for persistent components.
@@ -87,9 +89,19 @@ type Config struct {
 	Injector *Injector
 
 	// OnEvent, when set, observes runtime lifecycle events (crashes,
-	// recovery, checkpoints, retries, log trims). The callback may run
-	// with runtime locks held and must not call back into the runtime.
+	// recovery, checkpoints, retries, log trims, replayed calls). The
+	// callback may run with runtime locks held and must not call back
+	// into the runtime.
 	OnEvent func(Event)
+
+	// Metrics is the registry this process accounts its runtime
+	// counters to: log forces and writes at the device boundary,
+	// interceptions per logging discipline, per-site force accounting,
+	// checkpoints, recovery activity. Nil falls back to the universe's
+	// registry (UniverseConfig.Metrics), then to obs.Default(). Tests
+	// asserting the paper's per-algorithm invariants give each process
+	// its own registry.
+	Metrics *obs.Registry
 }
 
 const (

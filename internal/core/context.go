@@ -284,8 +284,11 @@ func (l *Local) Name() string { return l.comp.name }
 
 // Call invokes a subordinate method directly. The call is not
 // intercepted, not logged, and carries no call ID; determinism comes
-// from the single-threaded context it runs within.
+// from the single-threaded context it runs within. Only a counter
+// records that the boundary was crossed (the Persistent→Subordinate
+// row of Table 5: interception with no logging work).
 func (l *Local) Call(method string, args ...any) ([]any, error) {
+	l.comp.ctx.p.obs.InterceptSubordinate.Inc()
 	return l.comp.disp.CallValues(method, args...)
 }
 

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/wal"
 )
@@ -14,6 +16,14 @@ import (
 // and what recovery would replay. It opens the log read-only in the
 // sense that it appends nothing; the log must not be concurrently
 // owned by a live process.
+//
+// Each record line carries a status column relative to the well-known
+// checkpoint LSN: "ckpt'd" records precede it (recovery's pass 1 scan
+// starts past them), "replay" records are what a crash right now would
+// scan. Records whose type implies a log force under every discipline
+// (creation records, Algorithm 3's reply-sent markers) are tagged
+// "forced"; the actual force count is runtime state the log does not
+// store, so the summary reports the implied minimum.
 func DumpLog(w io.Writer, dir string) error {
 	log, err := wal.Open(dir, nil)
 	if err != nil {
@@ -22,18 +32,89 @@ func DumpLog(w io.Writer, dir string) error {
 	defer log.Close()
 
 	fmt.Fprintf(w, "log %s: LSNs %v..%v\n", dir, log.Start(), log.End())
-	if wk, err := wal.LoadWellKnownLSN(dir + ".wk"); err == nil {
-		fmt.Fprintf(w, "well-known checkpoint LSN: %v\n", wk)
+	// The process stores the well-known LSN next to the log directory:
+	// <name>.wk beside <name>.log (see Process.wkPath).
+	wk := ids.NilLSN
+	for _, path := range []string{strings.TrimSuffix(dir, ".log") + ".wk", dir + ".wk"} {
+		if k, err := wal.LoadWellKnownLSN(path); err == nil {
+			wk = k
+			fmt.Fprintf(w, "well-known checkpoint LSN: %v\n", wk)
+			break
+		}
 	}
 
-	return log.Scan(ids.NilLSN, func(rec wal.Record) error {
-		fmt.Fprintf(w, "%-12v %-14s %5dB  ", rec.LSN, recName(rec.Type), len(rec.Payload))
+	// Per-kind record counts accumulate in a private registry under the
+	// same rec.* names the runtime uses, so the summary reads exactly
+	// like a live metrics snapshot of this log's history.
+	reg := obs.NewRegistry()
+	records, impliedForces := 0, 0
+	err = log.Scan(ids.NilLSN, func(rec wal.Record) error {
+		records++
+		reg.Counter(recMetricName(rec.Type)).Inc()
+		status := "replay"
+		if !wk.IsNil() && rec.LSN < wk {
+			status = "ckpt'd"
+		}
+		if forcedKind(rec.Type) {
+			impliedForces++
+			status += "+forced"
+		}
+		fmt.Fprintf(w, "%-12v %-14s %-13s %5dB  ", rec.LSN, recName(rec.Type), status, len(rec.Payload))
 		if err := dumpPayload(w, rec); err != nil {
 			fmt.Fprintf(w, "<undecodable: %v>", err)
 		}
 		fmt.Fprintln(w)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nsummary: %d records, >=%d forces implied by record kinds\n",
+		records, impliedForces)
+	reg.Snapshot().WriteText(w, "  ")
+	return nil
+}
+
+// recMetricName maps a record type to the obs counter name the runtime
+// accounts it under (see Process.recCounter for the live equivalent).
+func recMetricName(t wal.RecordType) string {
+	switch t {
+	case recCreation:
+		return obs.RecCreation
+	case recIncoming:
+		return obs.RecIncoming
+	case recReplySent:
+		return obs.RecReplySent
+	case recReplyContent:
+		return obs.RecReplyContent
+	case recOutgoing:
+		return obs.RecOutgoing
+	case recOutgoingReply:
+		return obs.RecOutgoingReply
+	case recCtxState:
+		return obs.RecCtxState
+	case recBeginCkpt:
+		return obs.RecBeginCkpt
+	case recCkptCtxTable:
+		return obs.RecCkptCtxTable
+	case recCkptLastCall:
+		return obs.RecCkptLastCall
+	case recEndCkpt:
+		return obs.RecEndCkpt
+	default:
+		return fmt.Sprintf("rec.unknown_%d", t)
+	}
+}
+
+// forcedKind reports whether a record of this type is forced at append
+// time under every logging discipline: creation records (Create forces
+// before publishing the component) and Algorithm 3's reply-sent
+// markers ("log the reply-sent record and force"). Other kinds may or
+// may not have been forced depending on the discipline and on later
+// forces covering them — the log itself does not say.
+func forcedKind(t wal.RecordType) bool {
+	return t == recCreation || t == recReplySent
 }
 
 func dumpPayload(w io.Writer, rec wal.Record) error {

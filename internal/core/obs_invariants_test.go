@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/obs"
+)
+
+// These tests pin the paper's per-algorithm logging invariants using
+// the obs counters alone — no wal.Stats, no trace events. Each process
+// gets its own registry via Config.Metrics, so client- and server-side
+// accounting are cleanly separated.
+
+// diffDuring snapshots reg, runs fn, and returns the counter deltas.
+func diffDuring(reg *obs.Registry, fn func()) obs.Snapshot {
+	before := reg.Snapshot()
+	fn()
+	return reg.Snapshot().Diff(before)
+}
+
+// TestAlgorithm2InvariantByCounters: optimized persistent→persistent
+// (Algorithm 2). Per the paper: the send message (3) is forced but not
+// written; the receive message (1) is written but not forced; message 2
+// is neither written nor forced (only a force of prior records);
+// message 4 is written unforced.
+func TestAlgorithm2InvariantByCounters(t *testing.T) {
+	u := newTestUniverse(t)
+	cliReg, srvReg := obs.NewRegistry(), obs.NewRegistry()
+	cliCfg := testConfig()
+	cliCfg.Metrics = cliReg
+	srvCfg := testConfig()
+	srvCfg.Metrics = srvReg
+	_, pc := startProc(t, u, "evo1", "cli", cliCfg)
+	_, ps := startProc(t, u, "evo2", "srv", srvCfg)
+	defer pc.Close()
+	defer ps.Close()
+	hs, err := ps.Create("Server", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pc.Create("Batcher", &Batcher{Server: NewRef(hs.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(hb.URI())
+	callInt(t, ref, "RunBatch", "Add", 1, 1) // warm up: learning + creation forces
+
+	const n = 8
+	var srvD obs.Snapshot
+	cliD := diffDuring(cliReg, func() {
+		srvD = diffDuring(srvReg, func() {
+			callInt(t, ref, "RunBatch", "Add", n, 1)
+		})
+	})
+
+	// Server side: every inner call intercepted under Algorithm 2.
+	if got := srvD.Counter(obs.InterceptAlgo2); got != n {
+		t.Errorf("server intercept.algo2 = %d, want %d", got, n)
+	}
+	// Receive messages are written... (one incoming record per call)
+	if got := srvD.Counter(obs.RecIncoming); got != n {
+		t.Errorf("server rec.incoming = %d, want %d", got, n)
+	}
+	// ...but never forced at arrival.
+	if got := srvD.Counter(obs.ForceAtIncoming); got != 0 {
+		t.Errorf("server force.at_incoming = %d, want 0 (receives are unforced)", got)
+	}
+	// Message 2 produces no record of any shape — the reply send is a
+	// pure force of what came before.
+	if got := srvD.Counter(obs.RecReplyContent) + srvD.Counter(obs.RecReplySent); got != 0 {
+		t.Errorf("server logged %d reply records, want 0 under Algorithm 2", got)
+	}
+	if got := srvD.Counter(obs.ForceAtReply); got != n {
+		t.Errorf("server force.at_reply = %d, want %d", got, n)
+	}
+
+	// Client side: no send-message log writes, ever.
+	if got := cliD.Counter(obs.RecOutgoing); got != 0 {
+		t.Errorf("client rec.outgoing = %d, want 0 (sends are not written)", got)
+	}
+	// Message 4 (outgoing reply) is written once per call, unforced.
+	if got := cliD.Counter(obs.RecOutgoingReply); got != n {
+		t.Errorf("client rec.outgoing_reply = %d, want %d", got, n)
+	}
+	if got := cliD.Counter(obs.ForceAtOutgoingReply); got != 0 {
+		t.Errorf("client force.at_outgoing_reply = %d, want 0", got)
+	}
+	// The send-site forces that did reach the device: all inner calls
+	// except the first, whose log was already clean from the incoming
+	// envelope's Algorithm 3 force.
+	if got := cliD.Counter(obs.ForceAtSend); got != n-1 {
+		t.Errorf("client force.at_send = %d, want %d", got, n-1)
+	}
+}
+
+// TestAlgorithm5InvariantByCounters: optimized persistent→read-only
+// (Algorithm 5). The read-only server does nothing; the persistent
+// caller skips the force when calling but still logs the unrepeatable
+// reply (message 4) — without forcing it.
+func TestAlgorithm5InvariantByCounters(t *testing.T) {
+	u := newTestUniverse(t)
+	cliReg, srvReg := obs.NewRegistry(), obs.NewRegistry()
+	cliCfg := testConfig()
+	cliCfg.Metrics = cliReg
+	srvCfg := testConfig()
+	srvCfg.Metrics = srvReg
+	_, pc := startProc(t, u, "evo1", "cli", cliCfg)
+	_, ps := startProc(t, u, "evo2", "srv", srvCfg)
+	defer pc.Close()
+	defer ps.Close()
+	hs, err := ps.Create("Server", &Counter{}, WithType(msg.ReadOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pc.Create("Batcher", &Batcher{Server: NewRef(hs.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(hb.URI())
+	callInt(t, ref, "RunBatchNoArg", "Get", 1) // warm up: learn the server type
+
+	const n = 8
+	var srvD obs.Snapshot
+	cliD := diffDuring(cliReg, func() {
+		srvD = diffDuring(srvReg, func() {
+			callInt(t, ref, "RunBatchNoArg", "Get", n)
+		})
+	})
+
+	// Server side: interception classified read-only; nothing logged,
+	// nothing forced, no last-call bookkeeping.
+	if got := srvD.Counter(obs.InterceptReadOnly); got != n {
+		t.Errorf("server intercept.read_only = %d, want %d", got, n)
+	}
+	if got := srvD.Counter(obs.WALAppends); got != 0 {
+		t.Errorf("server wal.appends = %d, want 0 (read-only server logs nothing)", got)
+	}
+	if got := srvD.Counter(obs.WALForces); got != 0 {
+		t.Errorf("server wal.forces = %d, want 0", got)
+	}
+
+	// Client side: the send force is elided (Algorithm 5)...
+	if got := cliD.Counter(obs.ElideReadOnly); got != n {
+		t.Errorf("client elide.read_only = %d, want %d", got, n)
+	}
+	if got := cliD.Counter(obs.ForceAtSend); got != 0 {
+		t.Errorf("client force.at_send = %d, want 0", got)
+	}
+	// ...but the reply is logged (unrepeatable) without a force.
+	if got := cliD.Counter(obs.RecOutgoingReply); got != n {
+		t.Errorf("client rec.outgoing_reply = %d, want %d", got, n)
+	}
+	if got := cliD.Counter(obs.ForceAtOutgoingReply); got != 0 {
+		t.Errorf("client force.at_outgoing_reply = %d, want 0", got)
+	}
+	if got := cliD.Counter(obs.RecOutgoing); got != 0 {
+		t.Errorf("client rec.outgoing = %d, want 0", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/wal"
 )
@@ -32,6 +33,12 @@ type Process struct {
 	logPath string
 	wkPath  string
 
+	// metrics is the resolved observability registry (Config.Metrics,
+	// else the universe's, else obs.Default()); obs caches its runtime
+	// view for the interception hot paths.
+	metrics *obs.Registry
+	obs     *obs.RuntimeMetrics
+
 	mu         sync.Mutex
 	contexts   map[ids.CompID]*Context
 	byName     map[string]*Context // parent component name -> context
@@ -41,8 +48,9 @@ type Process struct {
 	lastCalls   *lastCallTable
 	remoteTypes *remoteTypeTable
 
-	incomingCalls atomic.Int64 // served incoming calls (checkpoint policy)
-	replayedCalls atomic.Int64 // calls re-executed by recovery
+	incomingCalls   atomic.Int64 // served incoming calls (checkpoint policy)
+	replayedCalls   atomic.Int64 // calls re-executed by recovery
+	suppressedCalls atomic.Int64 // outgoing sends answered from the log during replay
 	crashed       atomic.Bool
 	recovered     bool
 	listening     atomic.Bool
@@ -83,6 +91,11 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = m.u.metrics
+	}
+	log.SetMetrics(reg)
 	p := &Process{
 		u:            m.u,
 		m:            m,
@@ -93,6 +106,8 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		log:          log,
 		logPath:      logPath,
 		wkPath:       filepath.Join(m.dir, name+".wk"),
+		metrics:      reg,
+		obs:          obs.RuntimeView(reg),
 		contexts:     make(map[ids.CompID]*Context),
 		byName:       make(map[string]*Context),
 		components:   make(map[ids.CompID]*component),
@@ -241,7 +256,7 @@ func (p *Process) Create(name string, obj any, opts ...CreateOption) (*Handle, e
 	if err != nil {
 		return nil, err
 	}
-	if err := p.force(); err != nil {
+	if err := p.force(nil); err != nil {
 		return nil, err
 	}
 	cx.creationLSN = lsn
@@ -320,9 +335,19 @@ func (p *Process) Components() []string {
 // "Once a process checkpoint has been flushed to the log (possibly by a
 // later send message), the log manager writes and forces the LSN of the
 // begin checkpoint record into a well-known file").
-func (p *Process) force() error {
+//
+// site, when non-nil, is the per-site force counter of the paper's
+// Tables 4-5 accounting (force.at_send, force.at_reply, ...). It is
+// incremented only when the force actually reached the device: forcing
+// an already-clean log is free and must not be double-counted anywhere
+// — neither by the wal.* counters nor by any site.
+func (p *Process) force(site *obs.Counter) error {
+	before := p.log.Stats().Forces
 	if err := p.log.Force(); err != nil {
 		return err
+	}
+	if site != nil && p.log.Stats().Forces > before {
+		site.Inc()
 	}
 	p.ckptMu.Lock()
 	pending := p.pendingCkpt
@@ -360,7 +385,9 @@ func (p *Process) TrimLog() error {
 		return err
 	}
 	if got := p.log.Stats().TrimmedBytes - before; got > 0 {
-		p.emit(EventTrim, "", "reclaimed %d bytes up to %v", got, keep)
+		p.obs.Trims.Inc()
+		p.emitEvent(Event{Kind: EventTrim, LSN: keep,
+			Detail: fmt.Sprintf("reclaimed %d bytes up to %v", got, keep)})
 	}
 	return nil
 }
@@ -386,14 +413,53 @@ func (p *Process) reclaimPoint() ids.LSN {
 	return min
 }
 
-// appendRec encodes and appends a typed record.
+// appendRec encodes and appends a typed record, accounting it to the
+// per-kind record counters (the paper's message kinds 1-4 plus the
+// creation/state/checkpoint records).
 func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
 	payload, err := encodeRec(v)
 	if err != nil {
 		return ids.NilLSN, err
 	}
-	return p.log.Append(t, payload)
+	lsn, err := p.log.Append(t, payload)
+	if err == nil {
+		p.recCounter(t).Inc()
+	}
+	return lsn, err
 }
+
+// recCounter maps a record type to its obs counter.
+func (p *Process) recCounter(t wal.RecordType) *obs.Counter {
+	switch t {
+	case recCreation:
+		return p.obs.RecCreation
+	case recIncoming:
+		return p.obs.RecIncoming
+	case recReplySent:
+		return p.obs.RecReplySent
+	case recReplyContent:
+		return p.obs.RecReplyContent
+	case recOutgoing:
+		return p.obs.RecOutgoing
+	case recOutgoingReply:
+		return p.obs.RecOutgoingReply
+	case recCtxState:
+		return p.obs.RecCtxState
+	case recBeginCkpt:
+		return p.obs.RecBeginCkpt
+	case recCkptCtxTable:
+		return p.obs.RecCkptCtxTable
+	case recCkptLastCall:
+		return p.obs.RecCkptLastCall
+	case recEndCkpt:
+		return p.obs.RecEndCkpt
+	default:
+		return nil
+	}
+}
+
+// Metrics returns the registry this process accounts to.
+func (p *Process) Metrics() *obs.Registry { return p.metrics }
 
 // markStarted opens the process for component lookups (startup,
 // including any recovery, is complete — or the process is going away

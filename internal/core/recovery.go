@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
@@ -40,9 +41,13 @@ func (p *Process) recover() error {
 	} else if !errors.Is(err, wal.ErrNoWellKnown) {
 		return err
 	}
-	p.emit(EventRecoveryStart, "", "scanning from %v", start)
+	p.obs.RecoveryRuns.Inc()
+	recStart := time.Now()
+	p.emitEvent(Event{Kind: EventRecoveryStart, LSN: start,
+		Detail: fmt.Sprintf("scanning from %v", start)})
 
 	// ---- Pass 1: find contexts and their restart LSNs. ----
+	pass1Start := time.Now()
 	restart := make(map[ids.CompID]ids.LSN)
 	err := p.log.Scan(start, func(rec wal.Record) error {
 		switch rec.Type {
@@ -111,7 +116,10 @@ func (p *Process) recover() error {
 		return fmt.Errorf("recovery pass 1: %w", err)
 	}
 	if len(restart) == 0 {
+		p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Start).Microseconds())
+		p.obs.RecoveryMicros.Observe(time.Since(recStart).Microseconds())
 		p.recovered = true
+		p.emitEvent(Event{Kind: EventRecoveryDone, Detail: "no contexts to restore"})
 		return nil
 	}
 
@@ -128,18 +136,31 @@ func (p *Process) recover() error {
 			minLSN = lsn
 		}
 	}
+	p.obs.ContextsRestored.Add(int64(len(restored)))
+	p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Start).Microseconds())
 
 	// ---- Pass 2: replay incoming calls per context. ----
+	pass2Start := time.Now()
 	if err := p.replayFrom(minLSN, nil); err != nil {
 		return fmt.Errorf("recovery pass 2: %w", err)
 	}
+	p.obs.RecoveryPass2Micros.Observe(time.Since(pass2Start).Microseconds())
 	// Contexts with no tail call to replay become available now.
 	for _, cx := range restored {
 		cx.markReady()
 	}
 	p.recovered = true
-	p.emit(EventRecoveryDone, "", "%d contexts restored, %d calls replayed",
-		len(restored), p.replayedCalls.Load())
+	p.obs.RecoveryMicros.Observe(time.Since(recStart).Microseconds())
+	replayed := p.replayedCalls.Load()
+	suppressed := p.suppressedCalls.Load()
+	p.emitEvent(Event{
+		Kind:       EventRecoveryDone,
+		Restored:   len(restored),
+		Replayed:   replayed,
+		Suppressed: suppressed,
+		Detail: fmt.Sprintf("%d contexts restored, %d calls replayed, %d sends suppressed",
+			len(restored), replayed, suppressed),
+	})
 	return nil
 }
 
@@ -333,7 +354,7 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 			if st.pending != nil {
 				// All messages of the previous incoming call are now
 				// buffered: replay it.
-				if err := p.replayIncoming(ctxOf(ir.Ctx), st.pending, st.replies); err != nil {
+				if err := p.replayIncoming(ctxOf(ir.Ctx), st.pending, st.pendingLSN, st.replies); err != nil {
 					return err
 				}
 			}
@@ -381,7 +402,7 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 	for _, id := range tails {
 		st := states[id]
 		cx := ctxOf(id)
-		if err := p.replayIncoming(cx, st.pending, st.replies); err != nil {
+		if err := p.replayIncoming(cx, st.pending, st.pendingLSN, st.replies); err != nil {
 			return err
 		}
 		if cx != nil {
@@ -398,7 +419,7 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 // repeats from their last call tables. The reply is not sent to the
 // caller (condition 5) — it lands in the last call table, where a
 // duplicate call will find it.
-func (p *Process) replayIncoming(cx *Context, ir *incomingRec, replies map[uint64]*msg.Reply) error {
+func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, replies map[uint64]*msg.Reply) error {
 	if cx == nil {
 		return nil
 	}
@@ -413,6 +434,8 @@ func (p *Process) replayIncoming(cx *Context, ir *incomingRec, replies map[uint6
 
 	cx.beginExecution()
 	p.replayedCalls.Add(1)
+	p.obs.ReplayedCalls.Inc()
+	p.emitEvent(Event{Kind: EventReplay, Context: cx.uri, Method: ir.Call.Method, LSN: lsn})
 	call := &ir.Call
 	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
 	if err != nil {

@@ -171,6 +171,8 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	// see it before answers from its last call table.
 	if cx.recovering {
 		if rep, ok := cx.replayReplies[seq]; ok {
+			p.suppressedCalls.Add(1)
+			p.obs.SuppressedSends.Inc()
 			return rep, nil
 		}
 	}
@@ -189,26 +191,29 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			return nil, err
 		}
 		p.inject(PointClientBeforeForceSend)
-		if err := p.force(); err != nil {
+		if err := p.force(p.obs.ForceAtSend); err != nil {
 			return nil, err
 		}
 	default: // optimized
 		switch {
 		case p.cfg.SpecializedTypes && serverType == msg.Functional:
 			// Algorithm 4: calling a functional server needs no force.
+			p.obs.ElideFunctional.Inc()
 		case roCall:
 			// Algorithm 5: "we do not force the log when calling a
 			// read-only component".
+			p.obs.ElideReadOnly.Inc()
 		case p.cfg.MultiCall && cx.multiCallSeen != nil && !cx.multiCallSeen[call.Target]:
 			// Section 3.5: first call to this server during this
 			// method execution — its reply nondeterminism is captured
 			// in the server's last call table; skip the force.
 			cx.multiCallSeen[call.Target] = true
+			p.obs.ElideMultiCall.Inc()
 		default:
 			// The send message itself is not written (replay recreates
 			// it) but all previous records must be stable.
 			p.inject(PointClientBeforeForceSend)
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtSend); err != nil {
 				return nil, err
 			}
 		}
@@ -246,7 +251,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 				return nil, err
 			}
 			p.inject(PointClientBeforeForceReply)
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtOutgoingReply); err != nil {
 				return nil, err
 			}
 		} else if p.cfg.SpecializedTypes && serverType == msg.Functional {
@@ -277,12 +282,16 @@ func (u *Universe) send(call *msg.Call, retries int, interval time.Duration,
 	if err != nil {
 		return nil, err
 	}
+	u.rpcm.RPCCalls.Inc()
+	start := time.Now()
+	defer func() { u.rpcm.RPCCallMicros.Observe(time.Since(start).Microseconds()) }()
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 {
+			u.rpcm.RPCRetries.Inc()
 			if onEvent != nil {
-				onEvent(Event{Kind: EventRetry, Process: procName,
-					Context: call.Target, Detail: fmt.Sprintf("attempt %d", attempt+1)})
+				onEvent(Event{Kind: EventRetry, Process: procName, Context: call.Target,
+					Method: call.Method, Detail: fmt.Sprintf("attempt %d", attempt+1)})
 			}
 			u.cfg.Clock.Sleep(interval)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
@@ -87,6 +88,21 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	roTreatment := serverStateless ||
 		(p.cfg.SpecializedTypes && (roMethodAttr || call.CallerType == msg.ReadOnly))
 
+	// Account the interception by logging discipline (the split the
+	// paper's Tables 4-5 argue about).
+	switch {
+	case cx.parent.ctype == msg.Functional:
+		p.obs.InterceptFunctional.Inc() // Algorithm 4
+	case roTreatment:
+		p.obs.InterceptReadOnly.Inc() // Algorithm 5 treatment
+	case p.cfg.LogMode == LogBaseline:
+		p.obs.InterceptAlgo1.Inc()
+	case external:
+		p.obs.InterceptAlgo3.Inc()
+	default:
+		p.obs.InterceptAlgo2.Inc()
+	}
+
 	// A context being recovered holds arrivals until replay completes.
 	<-cx.ready
 
@@ -124,7 +140,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		if external || p.cfg.LogMode == LogBaseline {
 			// Algorithm 1 forces every message; Algorithm 3 force-logs
 			// external calls promptly so the failure window is small.
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtIncoming); err != nil {
 				return fault(call.ID, "force incoming: %v", err)
 			}
 		}
@@ -133,7 +149,10 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 
 	// Execute.
 	cx.beginExecution()
+	execStart := time.Now()
 	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
+	p.obs.ServeExecs.Inc()
+	p.obs.ServeExecMicros.Observe(time.Since(execStart).Microseconds())
 	if err != nil {
 		return fault(call.ID, "%v", err)
 	}
@@ -148,7 +167,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 			if _, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply}); err != nil {
 				return fault(call.ID, "log reply: %v", err)
 			}
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtReply); err != nil {
 				return fault(call.ID, "force reply: %v", err)
 			}
 		case external:
@@ -157,13 +176,13 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 			if _, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID}); err != nil {
 				return fault(call.ID, "log reply-sent: %v", err)
 			}
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtReply); err != nil {
 				return fault(call.ID, "force reply-sent: %v", err)
 			}
 		default:
 			// Algorithm 2: the send is not written (replay recreates
 			// it) but it commits state — force all previous records.
-			if err := p.force(); err != nil {
+			if err := p.force(p.obs.ForceAtReply); err != nil {
 				return fault(call.ID, "force at reply: %v", err)
 			}
 		}

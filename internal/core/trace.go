@@ -14,23 +14,38 @@ const (
 	// EventCrash fires when a process fail-stops.
 	EventCrash EventKind = iota
 	// EventRecoveryStart fires when crash recovery begins, after the
-	// well-known LSN has been read.
+	// well-known LSN has been read; LSN carries the scan start.
 	EventRecoveryStart
-	// EventRecoveryDone fires when recovery completes; Detail reports
-	// restored contexts and replayed calls.
+	// EventRecoveryDone fires when recovery completes; Restored,
+	// Replayed and Suppressed carry the counts (Detail repeats them
+	// human-readably).
 	EventRecoveryDone
-	// EventStateSave fires when a context state record is written.
+	// EventStateSave fires when a context state record is written; LSN
+	// carries the record's position.
 	EventStateSave
-	// EventCheckpoint fires when a process checkpoint is written.
+	// EventCheckpoint fires when a process checkpoint is written; LSN
+	// carries the begin-checkpoint record's position.
 	EventCheckpoint
-	// EventTrim fires when dead log segments are reclaimed.
+	// EventTrim fires when dead log segments are reclaimed; LSN carries
+	// the keep point.
 	EventTrim
 	// EventRetry fires when an outgoing call is redriven after a
-	// server failure (condition 4). Detail reports the attempt number.
+	// server failure (condition 4). Method names the call; Detail
+	// reports the attempt number.
 	EventRetry
+	// EventReplay fires for each incoming call re-executed during
+	// recovery; Method names the replayed call and LSN its incoming
+	// record. All EventReplay events of a recovery fall between its
+	// EventRecoveryStart and EventRecoveryDone.
+	EventReplay
+
+	// eventKindCount bounds the enum; keep it last so the String test
+	// can cover every kind.
+	eventKindCount
 )
 
-// String names the event kind.
+// String names the event kind. Unknown values render as a stable
+// "unknown(<n>)" so new kinds never silently stringify wrong.
 func (k EventKind) String() string {
 	switch k {
 	case EventCrash:
@@ -47,17 +62,33 @@ func (k EventKind) String() string {
 		return "trim"
 	case EventRetry:
 		return "retry"
+	case EventReplay:
+		return "replay"
 	default:
-		return fmt.Sprintf("event(%d)", int(k))
+		return fmt.Sprintf("unknown(%d)", int(k))
 	}
 }
 
-// Event is one runtime lifecycle occurrence.
+// Event is one runtime lifecycle occurrence: a structured trace record.
+// Beyond the kind and process, events carry the affected component,
+// method and log position where they apply, so observers can correlate
+// the trace with log dumps and metrics without parsing Detail.
 type Event struct {
 	Kind    EventKind
 	Process string
 	// Context names the affected context, when there is one.
 	Context ids.URI
+	// Method names the method involved (replayed or retried calls).
+	Method string
+	// LSN is the log position the event refers to (state record,
+	// checkpoint begin, trim keep-point, replayed incoming record).
+	LSN ids.LSN
+	// Restored, Replayed and Suppressed are recovery counts, set on
+	// EventRecoveryDone: contexts restored, incoming calls re-executed,
+	// and outgoing sends answered from the log instead of being sent.
+	Restored   int
+	Replayed   int64
+	Suppressed int64
 	// Detail is a short human-readable elaboration.
 	Detail string
 }
@@ -67,15 +98,21 @@ func (e Event) String() string {
 	if e.Context != "" {
 		s += " " + string(e.Context)
 	}
+	if e.Method != "" {
+		s += " ." + e.Method
+	}
+	if !e.LSN.IsNil() {
+		s += fmt.Sprintf(" @%v", e.LSN)
+	}
 	if e.Detail != "" {
 		s += ": " + e.Detail
 	}
 	return s
 }
 
-// emit delivers an event to the process's observer. Callbacks may run
-// with runtime locks held and must not call back into the runtime;
-// forward to a channel or logger.
+// emit delivers a detail-formatted event to the process's observer.
+// Callbacks may run with runtime locks held and must not call back into
+// the runtime; forward to a channel or logger.
 func (p *Process) emit(kind EventKind, ctx ids.URI, format string, args ...any) {
 	if p.cfg.OnEvent == nil {
 		return
@@ -85,4 +122,13 @@ func (p *Process) emit(kind EventKind, ctx ids.URI, format string, args ...any) 
 		detail = fmt.Sprintf(format, args...)
 	}
 	p.cfg.OnEvent(Event{Kind: kind, Process: p.name, Context: ctx, Detail: detail})
+}
+
+// emitEvent delivers a pre-built structured event, filling Process.
+func (p *Process) emitEvent(e Event) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	e.Process = p.name
+	p.cfg.OnEvent(e)
 }

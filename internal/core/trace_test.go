@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // eventLog collects events thread-safely (the callback runs with
@@ -119,13 +121,113 @@ func TestRetryEvents(t *testing.T) {
 	}
 }
 
+// TestEventKindStrings covers every declared kind (the eventKindCount
+// sentinel bounds the loop, so adding a kind without a String case
+// fails here) and pins the stable fallback for unknown values.
 func TestEventKindStrings(t *testing.T) {
-	for k := EventCrash; k <= EventRetry; k++ {
-		if strings.HasPrefix(k.String(), "event(") {
+	seen := make(map[string]bool)
+	for k := EventKind(0); k < eventKindCount; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "unknown(") {
 			t.Errorf("kind %d has no name", k)
 		}
+		if seen[s] {
+			t.Errorf("kind %d reuses name %q", k, s)
+		}
+		seen[s] = true
 	}
-	if !strings.HasPrefix(EventKind(99).String(), "event(") {
-		t.Error("unknown kind should fall back")
+	if got := EventKind(99).String(); got != "unknown(99)" {
+		t.Errorf("unknown kind String() = %q, want %q", got, "unknown(99)")
+	}
+	if got := EventKind(-1).String(); got != "unknown(-1)" {
+		t.Errorf("negative kind String() = %q, want %q", got, "unknown(-1)")
+	}
+}
+
+// TestRecoveryEventOrdering checks the structured trace around crash
+// recovery: EventRecoveryStart precedes every EventReplay, which all
+// precede EventRecoveryDone, and the done event's Replayed/Suppressed
+// counts match the replay events observed and the suppression metric.
+func TestRecoveryEventOrdering(t *testing.T) {
+	u := newTestUniverse(t)
+	trace := &eventLog{}
+	cfg := testConfig()
+	cfg.OnEvent = trace.record
+	cfg.Metrics = obs.NewRegistry() // isolate the client's counters
+	m, pc := startProc(t, u, "evo1", "cli", cfg)
+	_, ps := startProc(t, u, "evo2", "srv", testConfig())
+	defer ps.Close()
+	hc, err := ps.Create("Counter", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := pc.Create("Relay", &Relay{Server: NewRef(hc.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(hr.URI())
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		callInt(t, ref, "Forward", 1)
+	}
+	pc.Crash()
+	p2, err := m.StartProcess("cli", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	callInt(t, ref, "Forward", 1)
+
+	trace.mu.Lock()
+	events := append([]Event(nil), trace.events...)
+	trace.mu.Unlock()
+
+	startIdx, doneIdx := -1, -1
+	var replayIdx []int
+	var done Event
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventRecoveryStart:
+			startIdx = i
+		case EventReplay:
+			replayIdx = append(replayIdx, i)
+		case EventRecoveryDone:
+			doneIdx = i
+			done = ev
+		}
+	}
+	if startIdx < 0 || doneIdx < 0 {
+		t.Fatalf("missing recovery events: start=%d done=%d", startIdx, doneIdx)
+	}
+	if len(replayIdx) == 0 {
+		t.Fatal("no replay events observed")
+	}
+	for _, ri := range replayIdx {
+		if ri < startIdx || ri > doneIdx {
+			t.Errorf("replay event at %d outside recovery window [%d, %d]",
+				ri, startIdx, doneIdx)
+		}
+		if events[ri].Method != "Forward" {
+			t.Errorf("replay event method = %q, want Forward", events[ri].Method)
+		}
+		if events[ri].LSN.IsNil() {
+			t.Error("replay event carries no LSN")
+		}
+	}
+	if done.Replayed != int64(len(replayIdx)) {
+		t.Errorf("done.Replayed = %d, want %d (observed replay events)",
+			done.Replayed, len(replayIdx))
+	}
+	if done.Restored != 1 {
+		t.Errorf("done.Restored = %d, want 1", done.Restored)
+	}
+	// Every replayed Forward found its outgoing reply on the log (the
+	// external reply-sent force covered it), so each replay suppressed
+	// exactly one send — and the metric agrees with the event.
+	if done.Suppressed != done.Replayed {
+		t.Errorf("done.Suppressed = %d, want %d", done.Suppressed, done.Replayed)
+	}
+	if got := p2.Metrics().Counter(obs.SuppressedSends).Load(); got != done.Suppressed {
+		t.Errorf("suppressed-sends counter = %d, want %d", got, done.Suppressed)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/recsvc"
 	"repro/internal/transport"
 )
@@ -22,6 +23,12 @@ import (
 // processes, use a transport.TCP network and one Universe per process.
 type Universe struct {
 	cfg UniverseConfig
+
+	// metrics is the universe-level registry (default for processes
+	// that set no Config.Metrics); rpcm caches its rpc.* view for the
+	// send hot path.
+	metrics *obs.Registry
+	rpcm    *obs.RuntimeMetrics
 
 	mu       sync.Mutex
 	machines map[string]*Machine
@@ -50,6 +57,10 @@ type UniverseConfig struct {
 	// address is "machine/process", which the Mem network routes; a
 	// TCP deployment maps process names to host:port here.
 	AddrFor func(machine, process string) string
+	// Metrics is the universe's observability registry: transport and
+	// rpc activity is accounted here, and processes whose Config sets
+	// no registry of their own inherit it. Nil means obs.Default().
+	Metrics *obs.Registry
 }
 
 // NewUniverse creates a world rooted at cfg.Dir.
@@ -63,11 +74,25 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 	if cfg.Net == nil {
 		cfg.Net = transport.NewMem(cfg.Clock, cfg.NetworkRTT)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	// Every message between processes crosses the instrumented
+	// transport, giving transport.* counts and latencies for free.
+	cfg.Net = transport.Instrument(cfg.Net, cfg.Metrics)
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: mkdir %s: %w", cfg.Dir, err)
 	}
-	return &Universe{cfg: cfg, machines: make(map[string]*Machine)}, nil
+	return &Universe{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		rpcm:     obs.RuntimeView(cfg.Metrics),
+		machines: make(map[string]*Machine),
+	}, nil
 }
+
+// Metrics returns the universe-level observability registry.
+func (u *Universe) Metrics() *obs.Registry { return u.metrics }
 
 // Clock returns the universe's clock.
 func (u *Universe) Clock() disk.Clock { return u.cfg.Clock }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// DebugPath is where a debug server exposes the registry, in the
+// spirit of expvar's /debug/vars.
+const DebugPath = "/debug/phoenixvars"
+
+// Handler returns an http.Handler that serves the registry as a JSON
+// Snapshot. Mount it at DebugPath (or anywhere).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+// DebugServer is a live metrics endpoint for long-running processes.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. "127.0.0.1:6060"; port 0 picks
+// a free one) and serves r at DebugPath. The server runs on its own
+// goroutine until Close.
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(DebugPath, Handler(r))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (d *DebugServer) Close() error { return d.srv.Close() }

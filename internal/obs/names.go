@@ -1,0 +1,230 @@
+package obs
+
+// Canonical metric names. Dotted, grouped by subsystem. The wal.* group
+// is accounted at the device boundary by the log manager; everything
+// else is accounted by the runtime's message interceptors, recovery
+// manager and transport.
+const (
+	// --- log manager, device boundary (internal/wal) ---
+
+	// WALAppends counts records appended to the log buffer.
+	WALAppends = "wal.appends"
+	// WALForces counts forces that reached the device. Forcing an
+	// already-clean log is free (paper Section 3.1's combined forces)
+	// and is counted under WALCleanForces instead.
+	WALForces = "wal.forces"
+	// WALCleanForces counts force requests that found nothing dirty.
+	WALCleanForces = "wal.clean_forces"
+	// WALPhysicalWrites counts buffer flushes into segment files.
+	WALPhysicalWrites = "wal.physical_writes"
+	// WALBytesWritten totals payload+framing bytes flushed.
+	WALBytesWritten = "wal.bytes_written"
+	// WALTrimmedBytes totals log space reclaimed by TrimHead.
+	WALTrimmedBytes = "wal.trimmed_bytes"
+	// WALForceMicros is the latency distribution of device forces.
+	WALForceMicros = "wal.force_micros"
+	// WALAppendBytes is the size distribution of appended records.
+	WALAppendBytes = "wal.append_bytes"
+
+	// --- log records by kind (the paper's message kinds 1-4 plus
+	// creation, state and checkpoint records) ---
+
+	RecCreation      = "rec.creation"
+	RecIncoming      = "rec.incoming"       // message 1, long record
+	RecReplySent     = "rec.reply_sent"     // message 2, short record (Algorithm 3)
+	RecReplyContent  = "rec.reply_content"  // message 2 in full / lazy last-call reply
+	RecOutgoing      = "rec.outgoing"       // message 3 (baseline only)
+	RecOutgoingReply = "rec.outgoing_reply" // message 4
+	RecCtxState      = "rec.ctx_state"
+	RecBeginCkpt     = "rec.begin_ckpt"
+	RecCkptCtxTable  = "rec.ckpt_ctx_table"
+	RecCkptLastCall  = "rec.ckpt_last_call"
+	RecEndCkpt       = "rec.end_ckpt"
+
+	// --- interceptions by logging discipline (server side of each
+	// incoming call; subordinate calls are client-side direct dispatch) ---
+
+	InterceptAlgo1       = "intercept.algo1"       // baseline persistent
+	InterceptAlgo2       = "intercept.algo2"       // optimized persistent↔persistent
+	InterceptAlgo3       = "intercept.algo3"       // optimized, external client
+	InterceptFunctional  = "intercept.functional"  // Algorithm 4 server
+	InterceptReadOnly    = "intercept.readonly"    // Algorithm 5 treatment
+	InterceptSubordinate = "intercept.subordinate" // unlogged in-context dispatch
+
+	// --- per-site force accounting (the paper's Tables 4-5 "forces per
+	// call" argument). Only forces that reached the device are counted;
+	// a clean-log force counts nowhere here. ---
+
+	ForceAtIncoming      = "force.at_incoming"       // server, after logging message 1
+	ForceAtReply         = "force.at_reply"          // server, at message 2 send
+	ForceAtSend          = "force.at_send"           // client, at message 3 send
+	ForceAtOutgoingReply = "force.at_outgoing_reply" // client, after message 4 (baseline)
+
+	// Forces the optimized disciplines elided (counted at the client
+	// where the baseline would have forced).
+	ElideFunctional = "force.elided_functional" // Algorithm 4: pure server
+	ElideReadOnly   = "force.elided_readonly"   // Algorithm 5: read-only call
+	ElideMultiCall  = "force.elided_multicall"  // Section 3.5 first-call skip
+
+	// --- checkpointing and log management ---
+
+	Checkpoints = "ckpt.process"
+	StateSaves  = "ckpt.state_saves"
+	Trims       = "ckpt.trims"
+
+	// --- recovery ---
+
+	RecoveryRuns        = "recovery.runs"
+	ContextsRestored    = "recovery.contexts_restored"
+	ReplayedCalls       = "recovery.replayed_calls"
+	SuppressedSends     = "recovery.suppressed_sends"
+	RecoveryPass1Micros = "recovery.pass1_micros"
+	RecoveryPass2Micros = "recovery.pass2_micros"
+	RecoveryMicros      = "recovery.total_micros"
+
+	// --- rpc / transport ---
+
+	RPCCalls   = "rpc.calls"
+	RPCRetries = "rpc.retries"
+	// RPCCallMicros is the client-observed round trip including
+	// redrives (wall time; under a scaled bench clock it is scaled
+	// wall time, not model time).
+	RPCCallMicros = "rpc.call_micros"
+	// ServeExecs counts method executions dispatched into components;
+	// ServeExecMicros is their duration distribution.
+	ServeExecs      = "serve.execs"
+	ServeExecMicros = "serve.exec_micros"
+
+	TransportSends      = "transport.sends"
+	TransportSendErrors = "transport.send_errors"
+	TransportBytesOut   = "transport.bytes_out"
+	TransportBytesIn    = "transport.bytes_in"
+	TransportRTMicros   = "transport.rt_micros"
+)
+
+// WALMetrics pre-resolves the device-boundary metrics for the log
+// manager's hot path. All fields of the view returned for a nil
+// registry are nil, which Counter/Histogram methods tolerate.
+type WALMetrics struct {
+	Appends        *Counter
+	Forces         *Counter
+	CleanForces    *Counter
+	PhysicalWrites *Counter
+	BytesWritten   *Counter
+	TrimmedBytes   *Counter
+	ForceMicros    *Histogram
+	AppendBytes    *Histogram
+}
+
+// WALView resolves the wal.* bundle from r.
+func WALView(r *Registry) *WALMetrics {
+	return &WALMetrics{
+		Appends:        r.Counter(WALAppends),
+		Forces:         r.Counter(WALForces),
+		CleanForces:    r.Counter(WALCleanForces),
+		PhysicalWrites: r.Counter(WALPhysicalWrites),
+		BytesWritten:   r.Counter(WALBytesWritten),
+		TrimmedBytes:   r.Counter(WALTrimmedBytes),
+		ForceMicros:    r.Histogram(WALForceMicros),
+		AppendBytes:    r.Histogram(WALAppendBytes),
+	}
+}
+
+// RuntimeMetrics pre-resolves the interception, checkpoint, recovery
+// and rpc metrics for the core runtime's hot paths.
+type RuntimeMetrics struct {
+	RecCreation      *Counter
+	RecIncoming      *Counter
+	RecReplySent     *Counter
+	RecReplyContent  *Counter
+	RecOutgoing      *Counter
+	RecOutgoingReply *Counter
+	RecCtxState      *Counter
+	RecBeginCkpt     *Counter
+	RecCkptCtxTable  *Counter
+	RecCkptLastCall  *Counter
+	RecEndCkpt       *Counter
+
+	InterceptAlgo1       *Counter
+	InterceptAlgo2       *Counter
+	InterceptAlgo3       *Counter
+	InterceptFunctional  *Counter
+	InterceptReadOnly    *Counter
+	InterceptSubordinate *Counter
+
+	ForceAtIncoming      *Counter
+	ForceAtReply         *Counter
+	ForceAtSend          *Counter
+	ForceAtOutgoingReply *Counter
+	ElideFunctional      *Counter
+	ElideReadOnly        *Counter
+	ElideMultiCall       *Counter
+
+	Checkpoints *Counter
+	StateSaves  *Counter
+	Trims       *Counter
+
+	RecoveryRuns        *Counter
+	ContextsRestored    *Counter
+	ReplayedCalls       *Counter
+	SuppressedSends     *Counter
+	RecoveryPass1Micros *Histogram
+	RecoveryPass2Micros *Histogram
+	RecoveryMicros      *Histogram
+
+	RPCCalls        *Counter
+	RPCRetries      *Counter
+	RPCCallMicros   *Histogram
+	ServeExecs      *Counter
+	ServeExecMicros *Histogram
+}
+
+// RuntimeView resolves the runtime bundle from r.
+func RuntimeView(r *Registry) *RuntimeMetrics {
+	return &RuntimeMetrics{
+		RecCreation:      r.Counter(RecCreation),
+		RecIncoming:      r.Counter(RecIncoming),
+		RecReplySent:     r.Counter(RecReplySent),
+		RecReplyContent:  r.Counter(RecReplyContent),
+		RecOutgoing:      r.Counter(RecOutgoing),
+		RecOutgoingReply: r.Counter(RecOutgoingReply),
+		RecCtxState:      r.Counter(RecCtxState),
+		RecBeginCkpt:     r.Counter(RecBeginCkpt),
+		RecCkptCtxTable:  r.Counter(RecCkptCtxTable),
+		RecCkptLastCall:  r.Counter(RecCkptLastCall),
+		RecEndCkpt:       r.Counter(RecEndCkpt),
+
+		InterceptAlgo1:       r.Counter(InterceptAlgo1),
+		InterceptAlgo2:       r.Counter(InterceptAlgo2),
+		InterceptAlgo3:       r.Counter(InterceptAlgo3),
+		InterceptFunctional:  r.Counter(InterceptFunctional),
+		InterceptReadOnly:    r.Counter(InterceptReadOnly),
+		InterceptSubordinate: r.Counter(InterceptSubordinate),
+
+		ForceAtIncoming:      r.Counter(ForceAtIncoming),
+		ForceAtReply:         r.Counter(ForceAtReply),
+		ForceAtSend:          r.Counter(ForceAtSend),
+		ForceAtOutgoingReply: r.Counter(ForceAtOutgoingReply),
+		ElideFunctional:      r.Counter(ElideFunctional),
+		ElideReadOnly:        r.Counter(ElideReadOnly),
+		ElideMultiCall:       r.Counter(ElideMultiCall),
+
+		Checkpoints: r.Counter(Checkpoints),
+		StateSaves:  r.Counter(StateSaves),
+		Trims:       r.Counter(Trims),
+
+		RecoveryRuns:        r.Counter(RecoveryRuns),
+		ContextsRestored:    r.Counter(ContextsRestored),
+		ReplayedCalls:       r.Counter(ReplayedCalls),
+		SuppressedSends:     r.Counter(SuppressedSends),
+		RecoveryPass1Micros: r.Histogram(RecoveryPass1Micros),
+		RecoveryPass2Micros: r.Histogram(RecoveryPass2Micros),
+		RecoveryMicros:      r.Histogram(RecoveryMicros),
+
+		RPCCalls:        r.Counter(RPCCalls),
+		RPCRetries:      r.Counter(RPCRetries),
+		RPCCallMicros:   r.Histogram(RPCCallMicros),
+		ServeExecs:      r.Counter(ServeExecs),
+		ServeExecMicros: r.Histogram(ServeExecMicros),
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.y")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x.y") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	// nil receivers are no-ops, so unobserved subsystems need no guards.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(5)
+	if nc.Load() != 0 {
+		t.Error("nil counter should load 0")
+	}
+	var nh *Histogram
+	nh.Observe(7)
+	var nr *Registry
+	if nr.Counter("a") != nil || nr.Histogram("b") != nil {
+		t.Error("nil registry should hand out nil metrics")
+	}
+	if !nr.Snapshot().Empty() {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+func TestHistogramBucketsAndMean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1006 {
+		t.Fatalf("sum = %d, want 1006", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", s.Max)
+	}
+	// 0 and the clamped -5 land in bucket 0; 1 in bucket 1; 2,3 in
+	// bucket 2; 1000 in bucket 10.
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 10: 1}
+	for i, n := range want {
+		if s.Buckets[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], n)
+		}
+	}
+	if got := s.Mean(); got != 1006.0/6 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls")
+	h := r.Histogram("lat")
+	c.Add(10)
+	h.Observe(5)
+	base := r.Snapshot()
+	c.Add(7)
+	h.Observe(9)
+	d := r.Snapshot().Diff(base)
+	if d.Counter("calls") != 7 {
+		t.Errorf("diffed counter = %d, want 7", d.Counter("calls"))
+	}
+	hd := d.HistogramFor("lat")
+	if hd.Count != 1 || hd.Sum != 9 {
+		t.Errorf("diffed histogram = %+v", hd)
+	}
+	if d.Counter("absent") != 0 {
+		t.Error("absent counter should read 0")
+	}
+	if d.Empty() {
+		t.Error("diff with activity should not be Empty")
+	}
+	if !r.Snapshot().Diff(r.Snapshot()).Empty() {
+		t.Error("self-diff should be Empty")
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.Counter("z.zero") // stays zero: omitted
+	r.Histogram("lat").Observe(10)
+	var sb strings.Builder
+	r.Snapshot().WriteText(&sb, "  ")
+	out := sb.String()
+	if !strings.Contains(out, "a.one") || !strings.Contains(out, "b.two") {
+		t.Errorf("missing counters in %q", out)
+	}
+	if strings.Contains(out, "z.zero") {
+		t.Errorf("zero counter rendered in %q", out)
+	}
+	if strings.Index(out, "a.one") > strings.Index(out, "b.two") {
+		t.Errorf("output not sorted: %q", out)
+	}
+	if !strings.Contains(out, "lat") || !strings.Contains(out, "count=1") {
+		t.Errorf("histogram missing in %q", out)
+	}
+}
+
+func TestViewsResolveAllFields(t *testing.T) {
+	r := NewRegistry()
+	w := WALView(r)
+	if w.Forces == nil || w.CleanForces == nil || w.ForceMicros == nil {
+		t.Fatal("WALView left fields nil")
+	}
+	m := RuntimeView(r)
+	if m.RecOutgoing == nil || m.ForceAtSend == nil || m.SuppressedSends == nil ||
+		m.RPCCallMicros == nil || m.InterceptSubordinate == nil {
+		t.Fatal("RuntimeView left fields nil")
+	}
+	// Views over the same registry share state.
+	w.Forces.Inc()
+	if WALView(r).Forces.Load() != 1 {
+		t.Error("views over one registry must share counters")
+	}
+	// Nil-registry views are safe to use.
+	nw := WALView(nil)
+	nw.Forces.Inc()
+	nw.ForceMicros.Observe(3)
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter(fmt.Sprintf("c%d", i%10)).Inc()
+				r.Histogram("h").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 10; i++ {
+		total += r.Counter(fmt.Sprintf("c%d", i)).Load()
+	}
+	if total != 8000 {
+		t.Fatalf("lost updates: total = %d, want 8000", total)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if len(r.Names()) != 11 {
+		t.Fatalf("names = %v", r.Names())
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(WALForces).Add(3)
+	r.Histogram(RPCCallMicros).Observe(250)
+	d, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if snap.Counter(WALForces) != 3 {
+		t.Errorf("served forces = %d, want 3", snap.Counter(WALForces))
+	}
+	if snap.HistogramFor(RPCCallMicros).Count != 1 {
+		t.Errorf("served histogram = %+v", snap.HistogramFor(RPCCallMicros))
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return one registry")
+	}
+}

@@ -35,9 +35,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // RecordType tags a log record's payload schema. The WAL treats it as
@@ -122,6 +124,7 @@ type Log struct {
 	flushed  bool // buffer empty but some file not yet synced
 	closed   bool
 	stats    Stats
+	m        *obs.WALMetrics
 }
 
 // Open opens (creating if necessary) the log directory at dir, verifies
@@ -140,6 +143,7 @@ func Open(dir string, model disk.Model) (*Log, error) {
 		model:        model,
 		segmentBytes: DefaultSegmentBytes,
 		unsynced:     make(map[*segment]bool),
+		m:            obs.WALView(obs.Default()),
 	}
 	if err := l.load(); err != nil {
 		l.closeSegs()
@@ -336,6 +340,8 @@ func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 	l.buf = append(l.buf, payload...)
 	l.dirty = true
 	l.stats.Appends++
+	l.m.Appends.Inc()
+	l.m.AppendBytes.Observe(int64(len(payload)))
 	if len(l.buf) >= maxBuffered {
 		if err := l.flushLocked(); err != nil {
 			return ids.NilLSN, err
@@ -362,6 +368,8 @@ func (l *Log) flushLocked() error {
 	l.bufBase += ids.LSN(n)
 	l.stats.PhysicalWrites++
 	l.stats.BytesWritten += n
+	l.m.PhysicalWrites.Inc()
+	l.m.BytesWritten.Add(n)
 	l.flushed = true
 	return nil
 }
@@ -376,8 +384,13 @@ func (l *Log) Force() error {
 		return ErrClosed
 	}
 	if !l.dirty && !l.flushed {
+		// A force of a clean log is free (this is exactly what lets the
+		// optimized discipline combine forces) — count it separately so
+		// no device-force accounting ever includes it.
+		l.m.CleanForces.Inc()
 		return nil
 	}
+	start := time.Now()
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
@@ -392,6 +405,8 @@ func (l *Log) Force() error {
 	l.dirty = false
 	l.flushed = false
 	l.stats.Forces++
+	l.m.Forces.Inc()
+	l.m.ForceMicros.Observe(time.Since(start).Microseconds())
 	return nil
 }
 
@@ -551,6 +566,7 @@ func (l *Log) TrimHead(keep ids.LSN) error {
 		}
 		delete(l.unsynced, s)
 		l.stats.TrimmedBytes += s.size
+		l.m.TrimmedBytes.Add(s.size)
 	}
 	l.segs = append([]*segment{}, l.segs[cut:]...)
 	return nil
@@ -576,6 +592,16 @@ func (l *Log) SetSegmentBytes(n int64) {
 	if n > 0 {
 		l.segmentBytes = n
 	}
+}
+
+// SetMetrics redirects the log's device-boundary accounting to reg
+// (by default it reports to obs.Default). The runtime calls this right
+// after Open so a process's log shares the process's registry; switch
+// before any activity you intend to account.
+func (l *Log) SetMetrics(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = obs.WALView(reg)
 }
 
 // Stats returns a snapshot of the log's activity counters.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 )
@@ -105,7 +106,26 @@ const (
 	EventCheckpoint    = core.EventCheckpoint
 	EventTrim          = core.EventTrim
 	EventRetry         = core.EventRetry
+	EventReplay        = core.EventReplay
 )
+
+// Runtime metrics (see internal/obs for the full metric name catalog).
+type (
+	// MetricsRegistry holds named counters and histograms; pass one in
+	// Config.Metrics or UniverseConfig.Metrics to isolate a process's
+	// or universe's accounting, or read the shared DefaultMetrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry; Diff two
+	// snapshots for per-run deltas.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the shared fallback registry that processes
+// account to when no explicit registry is configured.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
 
 // Logging modes (paper Section 3).
 const (
