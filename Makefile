@@ -1,8 +1,8 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race stress bench
 
-ci: vet build test race
+ci: vet build test race stress
 
 vet:
 	go vet ./...
@@ -15,6 +15,11 @@ test:
 
 race:
 	go test -race ./internal/core/ ./internal/wal/
+
+# Repeated group-commit concurrency stress under the race detector: the
+# flusher, its shutdown modes, and the crash-durability property.
+stress:
+	go test -race -count=2 -run 'GroupCommit' ./internal/wal/ ./internal/core/
 
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30

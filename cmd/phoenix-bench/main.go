@@ -48,6 +48,7 @@ func main() {
 		experiment  = flag.String("experiment", "", "experiment ID to run (default: all)")
 		scale       = flag.Float64("scale", 0.2, "clock scale: 1 = real time, 0.05 = 20x compressed")
 		calls       = flag.Int("calls", 60, "iterations per measured cell")
+		concurrency = flag.Int("concurrency", 8, "client count for the concurrent experiments (groupcommit)")
 		seed        = flag.Int64("seed", 20040330, "random seed for jitter and phase noise")
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		jsonOut     = flag.Bool("json", false, "emit tables and metric snapshots as JSON")
@@ -62,7 +63,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed}.Defaults()
+	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed, Concurrency: *concurrency}.Defaults()
 
 	var exps []*bench.Experiment
 	if *experiment != "" {

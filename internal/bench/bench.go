@@ -34,6 +34,10 @@ type Options struct {
 	Calls int
 	// Recovery workload sizes for Table 7 (calls replayed).
 	RecoverySizes []int
+	// Concurrency is the client count for the concurrent experiments
+	// (group-commit): how many external clients commit against one
+	// server process at once.
+	Concurrency int
 	// Seed drives the network jitter.
 	Seed int64
 	// Dir is scratch space for logs; empty uses a temp dir per run.
@@ -50,6 +54,9 @@ func (o Options) Defaults() Options {
 	}
 	if len(o.RecoverySizes) == 0 {
 		o.RecoverySizes = []int{0, 1000, 2000, 3000, 4000, 5000}
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
 	}
 	if o.Seed == 0 {
 		o.Seed = 20040330

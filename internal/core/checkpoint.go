@@ -69,6 +69,7 @@ func (cx *Context) saveStateLocked() error {
 	p.mu.Lock()
 	cx.restartLSN = lsn
 	p.mu.Unlock()
+	cx.lastLSN = lsn
 	cx.callsSinceSave = 0
 	p.obs.StateSaves.Inc()
 	p.emitEvent(Event{Kind: EventStateSave, Context: cx.uri, LSN: lsn,
@@ -146,14 +147,17 @@ func (p *Process) checkpointLocked() error {
 		return err
 	}
 
-	if _, err := p.appendRec(recEndCkpt, &endCkptRec{BeginLSN: begin}); err != nil {
+	end, err := p.appendRec(recEndCkpt, &endCkptRec{BeginLSN: begin})
+	if err != nil {
 		return err
 	}
 
 	// The well-known file is updated only once the checkpoint is
-	// stable — the next force (ours or a later send's) covers it.
+	// stable — the next force whose watermark passes the end record
+	// (ours or a later send's) covers it.
 	p.ckptMu.Lock()
 	p.pendingCkpt = begin
+	p.pendingCkptEnd = end
 	p.ckptMu.Unlock()
 	p.obs.Checkpoints.Inc()
 	p.emitEvent(Event{Kind: EventCheckpoint, LSN: begin,

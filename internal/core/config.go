@@ -15,7 +15,16 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
+
+// GroupCommit configures the process log's group-commit flusher
+// (Config.GroupCommit): a dedicated goroutine collects concurrent
+// force requests, holds a MaxWait commit window so committers pile up,
+// and satisfies each batch of up to MaxBatch waiters with one device
+// sync. The zero value disables it; with Enabled true, zero MaxWait
+// and MaxBatch mean 200µs and 64.
+type GroupCommit = wal.GroupCommitConfig
 
 // LogMode selects the logging discipline for persistent components.
 type LogMode int
@@ -60,6 +69,13 @@ type Config struct {
 	// log; the force happens at the component's own reply, or on a
 	// second call to the same server.
 	MultiCall bool
+	// GroupCommit batches concurrent log forces behind a dedicated
+	// flusher goroutine: one device sync per batch of committers,
+	// replacing the direct path's opportunistic piggybacking with a
+	// deliberate commit window. Worth turning on when many contexts
+	// (or external clients) commit concurrently against one process
+	// log; a lone caller only pays the window latency.
+	GroupCommit GroupCommit
 
 	// SaveStateEvery makes a context save a state record after every
 	// N-th incoming call it finishes (0 disables; Section 4.2).

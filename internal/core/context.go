@@ -52,6 +52,13 @@ type Context struct {
 	restartLSN  ids.LSN
 	creationLSN ids.LSN
 
+	// lastLSN is the newest log record this context appended (any
+	// kind). The context's commit points force the log only up to it
+	// (ForceTo): a context never waits on other contexts' dirty
+	// records. Owned by the goroutine holding cx.mu, like the rest of
+	// the execution state (Create sets it before publication).
+	lastLSN ids.LSN
+
 	callsSinceSave int
 }
 

@@ -27,15 +27,22 @@ func (d *Driver) Go(n int) (int, error) {
 // exactly once.
 func runExactlyOnce(t *testing.T, mode LogMode, point InjectionPoint, crashCounter bool) {
 	t.Helper()
-	u := newTestUniverse(t)
-
-	inj := NewInjector().CrashAt(point, 1)
-	base := Config{
+	runExactlyOnceCfg(t, Config{
 		LogMode:          mode,
 		SpecializedTypes: true,
 		RetryInterval:    2 * time.Millisecond,
 		RetryLimit:       2000,
-	}
+	}, point, crashCounter)
+}
+
+// runExactlyOnceCfg is the harness with the base process Config under
+// the caller's control (group-commit tests reuse it with batching on).
+func runExactlyOnceCfg(t *testing.T, base Config, point InjectionPoint, crashCounter bool) {
+	t.Helper()
+	u := newTestUniverse(t)
+	mode := base.LogMode
+
+	inj := NewInjector().CrashAt(point, 1)
 	crashCfg := base
 	crashCfg.Injector = inj
 

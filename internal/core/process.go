@@ -62,12 +62,14 @@ type Process struct {
 	recoveryDoneOnce sync.Once
 
 	// pendingCkpt is the begin-LSN of a checkpoint written but not yet
-	// covered by a force; the first force past it writes the
+	// covered by a force; the first force whose stable watermark moves
+	// past pendingCkptEnd (the end-checkpoint record) writes the
 	// well-known file (Section 4.3). lastWK is the last LSN recorded
 	// there — recovery scans from it, so log trimming must keep it.
-	ckptMu      sync.Mutex
-	pendingCkpt ids.LSN
-	lastWK      ids.LSN
+	ckptMu         sync.Mutex
+	pendingCkpt    ids.LSN
+	pendingCkptEnd ids.LSN
+	lastWK         ids.LSN
 }
 
 // component is one row of the component table (paper Table 1).
@@ -96,6 +98,9 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		reg = m.u.metrics
 	}
 	log.SetMetrics(reg)
+	// The flusher's commit window sleeps on the universe clock, so a
+	// virtual clock drives group commit deterministically in tests.
+	log.StartGroupCommit(cfg.GroupCommit, m.u.cfg.Clock)
 	p := &Process{
 		u:            m.u,
 		m:            m,
@@ -261,6 +266,7 @@ func (p *Process) Create(name string, obj any, opts ...CreateOption) (*Handle, e
 	}
 	cx.creationLSN = lsn
 	cx.restartLSN = lsn
+	cx.lastLSN = lsn
 
 	p.mu.Lock()
 	if _, ok := p.byName[name]; ok {
@@ -330,41 +336,69 @@ func (p *Process) Components() []string {
 	return names
 }
 
-// force forces the log and, if a process checkpoint became durable as a
-// side effect, records its LSN in the well-known file (Section 4.3:
-// "Once a process checkpoint has been flushed to the log (possibly by a
-// later send message), the log manager writes and forces the LSN of the
-// begin checkpoint record into a well-known file").
+// forceTo makes the log stable up to lsn: the caller waits only until
+// its own records are durable, not until the global tail is. It then
+// finishes any process checkpoint the sync covered.
 //
 // site, when non-nil, is the per-site force counter of the paper's
 // Tables 4-5 accounting (force.at_send, force.at_reply, ...). It is
-// incremented only when the force actually reached the device: forcing
-// an already-clean log is free and must not be double-counted anywhere
-// — neither by the wal.* counters nor by any site.
+// incremented only when this request issued the device sync: clean
+// forces are free, and requests satisfied by someone else's sync (a
+// piggyback or a group-commit batch) count under wal.group.syncs_saved
+// instead — so the per-site sum stays equal to wal.forces.
+func (p *Process) forceTo(site *obs.Counter, lsn ids.LSN) error {
+	out, err := p.log.SyncTo(lsn)
+	return p.finishForce(site, out, err)
+}
+
+// force forces the whole log tail (creation and checkpoint paths; the
+// message disciplines use forceTo with the context's last LSN).
 func (p *Process) force(site *obs.Counter) error {
-	before := p.log.Stats().Forces
-	if err := p.log.Force(); err != nil {
+	out, err := p.log.SyncAll()
+	return p.finishForce(site, out, err)
+}
+
+func (p *Process) finishForce(site *obs.Counter, out wal.SyncOutcome, err error) error {
+	if err != nil {
 		return err
 	}
-	if site != nil && p.log.Stats().Forces > before {
+	if site != nil && out == wal.SyncIssued {
 		site.Inc()
 	}
+	return p.completeCheckpoint()
+}
+
+// completeCheckpoint publishes a pending process checkpoint once its
+// records are covered by the stable watermark (Section 4.3: "Once a
+// process checkpoint has been flushed to the log (possibly by a later
+// send message), the log manager writes and forces the LSN of the
+// begin checkpoint record into a well-known file"). With the LSN-aware
+// force API a sync need not cover the whole tail, so the check is
+// against the end-checkpoint record's LSN, not "any force happened".
+func (p *Process) completeCheckpoint() error {
 	p.ckptMu.Lock()
-	pending := p.pendingCkpt
-	p.pendingCkpt = ids.NilLSN
+	begin, end := p.pendingCkpt, p.pendingCkptEnd
 	p.ckptMu.Unlock()
-	if !pending.IsNil() {
-		if err := wal.SaveWellKnownLSN(p.wkPath, pending); err != nil {
-			return err
-		}
-		p.ckptMu.Lock()
-		p.lastWK = pending
+	if begin.IsNil() || p.log.SyncedLSN() <= end {
+		return nil
+	}
+	p.ckptMu.Lock()
+	if p.pendingCkpt != begin {
+		// A newer checkpoint superseded the one we saw; its own force
+		// will publish it.
 		p.ckptMu.Unlock()
-		if p.cfg.AutoTrimLog {
-			if err := p.TrimLog(); err != nil {
-				return err
-			}
-		}
+		return nil
+	}
+	p.pendingCkpt, p.pendingCkptEnd = ids.NilLSN, ids.NilLSN
+	p.ckptMu.Unlock()
+	if err := wal.SaveWellKnownLSN(p.wkPath, begin); err != nil {
+		return err
+	}
+	p.ckptMu.Lock()
+	p.lastWK = begin
+	p.ckptMu.Unlock()
+	if p.cfg.AutoTrimLog {
+		return p.TrimLog()
 	}
 	return nil
 }

@@ -187,11 +187,13 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	case cx.parent.ctype == msg.External || stateless:
 		// Algorithms 4/5 at the stateless component: do nothing.
 	case p.cfg.LogMode == LogBaseline:
-		if _, err := p.appendRec(recOutgoing, &outgoingRec{Ctx: cx.parent.id, Call: *call}); err != nil {
+		lsn, err := p.appendRec(recOutgoing, &outgoingRec{Ctx: cx.parent.id, Call: *call})
+		if err != nil {
 			return nil, err
 		}
+		cx.lastLSN = lsn
 		p.inject(PointClientBeforeForceSend)
-		if err := p.force(p.obs.ForceAtSend); err != nil {
+		if err := p.forceTo(p.obs.ForceAtSend, cx.lastLSN); err != nil {
 			return nil, err
 		}
 	default: // optimized
@@ -211,9 +213,10 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			p.obs.ElideMultiCall.Inc()
 		default:
 			// The send message itself is not written (replay recreates
-			// it) but all previous records must be stable.
+			// it) but all of this context's previous records must be
+			// stable.
 			p.inject(PointClientBeforeForceSend)
-			if err := p.force(p.obs.ForceAtSend); err != nil {
+			if err := p.forceTo(p.obs.ForceAtSend, cx.lastLSN); err != nil {
 				return nil, err
 			}
 		}
@@ -247,11 +250,13 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		fallthrough
 	default:
 		if p.cfg.LogMode == LogBaseline {
-			if _, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply}); err != nil {
+			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply})
+			if err != nil {
 				return nil, err
 			}
+			cx.lastLSN = lsn
 			p.inject(PointClientBeforeForceReply)
-			if err := p.force(p.obs.ForceAtOutgoingReply); err != nil {
+			if err := p.forceTo(p.obs.ForceAtOutgoingReply, cx.lastLSN); err != nil {
 				return nil, err
 			}
 		} else if p.cfg.SpecializedTypes && serverType == msg.Functional {
@@ -261,9 +266,11 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			// Optimized: log message 4 without forcing. Read-only
 			// replies are unrepeatable and must be logged too
 			// (Algorithm 5: "Log message 4").
-			if _, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply}); err != nil {
+			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply})
+			if err != nil {
 				return nil, err
 			}
+			cx.lastLSN = lsn
 		}
 	}
 	p.inject(PointClientAfterReply)

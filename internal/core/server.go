@@ -134,13 +134,15 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	// Message 1 logging.
 	if !roTreatment {
 		p.inject(PointServerBeforeLogIncoming)
-		if _, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call}); err != nil {
+		lsn, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call})
+		if err != nil {
 			return fault(call.ID, "log incoming: %v", err)
 		}
+		cx.lastLSN = lsn
 		if external || p.cfg.LogMode == LogBaseline {
 			// Algorithm 1 forces every message; Algorithm 3 force-logs
 			// external calls promptly so the failure window is small.
-			if err := p.force(p.obs.ForceAtIncoming); err != nil {
+			if err := p.forceTo(p.obs.ForceAtIncoming, cx.lastLSN); err != nil {
 				return fault(call.ID, "force incoming: %v", err)
 			}
 		}
@@ -164,25 +166,31 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		switch {
 		case p.cfg.LogMode == LogBaseline:
 			// Algorithm 1: log the full reply and force.
-			if _, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply}); err != nil {
+			lsn, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply})
+			if err != nil {
 				return fault(call.ID, "log reply: %v", err)
 			}
-			if err := p.force(p.obs.ForceAtReply); err != nil {
+			cx.lastLSN = lsn
+			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
 				return fault(call.ID, "force reply: %v", err)
 			}
 		case external:
 			// Algorithm 3: a short record — only the fact that the
 			// reply was (attempted to be) sent — then force.
-			if _, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID}); err != nil {
+			lsn, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID})
+			if err != nil {
 				return fault(call.ID, "log reply-sent: %v", err)
 			}
-			if err := p.force(p.obs.ForceAtReply); err != nil {
+			cx.lastLSN = lsn
+			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
 				return fault(call.ID, "force reply-sent: %v", err)
 			}
 		default:
 			// Algorithm 2: the send is not written (replay recreates
-			// it) but it commits state — force all previous records.
-			if err := p.force(p.obs.ForceAtReply); err != nil {
+			// it) but it commits state — force all of this context's
+			// previous records (other contexts' dirty tails are their
+			// own commits' business).
+			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
 				return fault(call.ID, "force at reply: %v", err)
 			}
 		}

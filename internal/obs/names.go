@@ -26,6 +26,26 @@ const (
 	// WALAppendBytes is the size distribution of appended records.
 	WALAppendBytes = "wal.append_bytes"
 
+	// --- group commit (internal/wal group.go). The batch metrics are
+	// observed once per flusher device sync; syncs_saved also counts
+	// direct-path requests that piggybacked on a sync in flight, so
+	// device syncs (wal.forces) + wal.group.syncs_saved + clean forces
+	// add up to the total force requests. ---
+
+	// WALGroupBatchSize is the waiters-per-device-sync distribution of
+	// the group-commit flusher (mean > 1 means forces are combining).
+	WALGroupBatchSize = "wal.group.batch_size"
+	// WALGroupWaitMicros is how long force requesters waited from
+	// enqueue to wake (commit window + sync latency).
+	WALGroupWaitMicros = "wal.group.wait_micros"
+	// WALGroupSyncsSaved counts force requests satisfied by a device
+	// sync they did not issue — the paper's combined forces, made
+	// deliberate.
+	WALGroupSyncsSaved = "wal.group.syncs_saved"
+	// WALGroupBackpressure counts force requests that blocked because
+	// the flusher's queue was full.
+	WALGroupBackpressure = "wal.group.backpressure"
+
 	// --- log records by kind (the paper's message kinds 1-4 plus
 	// creation, state and checkpoint records) ---
 
@@ -114,6 +134,11 @@ type WALMetrics struct {
 	TrimmedBytes   *Counter
 	ForceMicros    *Histogram
 	AppendBytes    *Histogram
+
+	GroupBatchSize    *Histogram
+	GroupWaitMicros   *Histogram
+	GroupSyncsSaved   *Counter
+	GroupBackpressure *Counter
 }
 
 // WALView resolves the wal.* bundle from r.
@@ -127,6 +152,11 @@ func WALView(r *Registry) *WALMetrics {
 		TrimmedBytes:   r.Counter(WALTrimmedBytes),
 		ForceMicros:    r.Histogram(WALForceMicros),
 		AppendBytes:    r.Histogram(WALAppendBytes),
+
+		GroupBatchSize:    r.Histogram(WALGroupBatchSize),
+		GroupWaitMicros:   r.Histogram(WALGroupWaitMicros),
+		GroupSyncsSaved:   r.Counter(WALGroupSyncsSaved),
+		GroupBackpressure: r.Counter(WALGroupBackpressure),
 	}
 }
 

@@ -105,10 +105,13 @@ type segment struct {
 
 func (s *segment) end() ids.LSN { return s.start + ids.LSN(s.size) }
 
-// Log is a process-local recovery log. It is safe for concurrent use;
-// Append and Force serialize internally (which is exactly the paper's
-// force-combining: contexts sharing the process log piggyback on each
-// other's forces).
+// Log is a process-local recovery log. It is safe for concurrent use.
+// Buffer and segment bookkeeping serialize on a mutex, but the device
+// sync itself runs with the mutex released, so Append never blocks
+// behind an in-flight force. Concurrent force requests combine: on the
+// direct path later requesters piggyback on the sync in flight (the
+// paper's Section 3.1 force-combining); with StartGroupCommit a
+// dedicated flusher batches them deliberately.
 type Log struct {
 	dir          string
 	model        disk.Model
@@ -120,11 +123,12 @@ type Log struct {
 	bufBase  ids.LSN // LSN of buf[0]
 	synced   ids.LSN // stable watermark (survives Discard)
 	unsynced map[*segment]bool
-	dirty    bool // appended records not yet synced
-	flushed  bool // buffer empty but some file not yet synced
+	syncing  bool       // a device sync is in flight with mu released
+	syncDone *sync.Cond // broadcast (on mu) when an in-flight sync completes
 	closed   bool
 	stats    Stats
 	m        *obs.WALMetrics
+	gc       *groupCommitter // non-nil once StartGroupCommit ran
 }
 
 // Open opens (creating if necessary) the log directory at dir, verifies
@@ -145,6 +149,7 @@ func Open(dir string, model disk.Model) (*Log, error) {
 		unsynced:     make(map[*segment]bool),
 		m:            obs.WALView(obs.Default()),
 	}
+	l.syncDone = sync.NewCond(&l.mu)
 	if err := l.load(); err != nil {
 		l.closeSegs()
 		return nil, err
@@ -338,7 +343,6 @@ func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 	binary.LittleEndian.PutUint32(frame[5:9], crc)
 	l.buf = append(l.buf, frame...)
 	l.buf = append(l.buf, payload...)
-	l.dirty = true
 	l.stats.Appends++
 	l.m.Appends.Inc()
 	l.m.AppendBytes.Observe(int64(len(payload)))
@@ -370,44 +374,184 @@ func (l *Log) flushLocked() error {
 	l.stats.BytesWritten += n
 	l.m.PhysicalWrites.Inc()
 	l.m.BytesWritten.Add(n)
-	l.flushed = true
 	return nil
 }
 
-// Force makes every appended record stable: it flushes the buffer and
-// syncs the touched segment files (charging the device model once).
-// Forcing a clean log is free and is not counted in Stats.Forces.
+// SyncOutcome classifies how a force request was satisfied. Callers
+// that keep per-site force accounting (core's Tables 4-5 counters)
+// count a site only on SyncIssued, so the per-site sum stays equal to
+// the device-sync count even when requests combine.
+type SyncOutcome uint8
+
+const (
+	// SyncClean: the requested records were already stable — no
+	// waiting, no device I/O (counted under wal.clean_forces).
+	SyncClean SyncOutcome = iota
+	// SyncIssued: this request issued (or led) the device sync.
+	SyncIssued
+	// SyncCombined: the request was covered by a device sync another
+	// request issued — the paper's combined force (Section 3.1).
+	SyncCombined
+)
+
+// Force makes every appended record stable. It is a tail alias of
+// ForceTo: callers that know the LSN of the last record they care
+// about should prefer ForceTo and stop over-waiting on records they
+// did not write. Forcing a clean log is free and not counted in
+// Stats.Forces.
 func (l *Log) Force() error {
+	_, err := l.SyncAll()
+	return err
+}
+
+// ForceTo blocks until the record appended at lsn — and every record
+// before it — is stable. An lsn already covered by the stable
+// watermark (or NilLSN) returns immediately as a clean force, even if
+// later records are dirty: that is the over-waiting the LSN-aware API
+// eliminates.
+func (l *Log) ForceTo(lsn ids.LSN) error {
+	_, err := l.SyncTo(lsn)
+	return err
+}
+
+// SyncAll is Force with the outcome exposed.
+func (l *Log) SyncAll() (SyncOutcome, error) {
+	l.mu.Lock()
+	target := l.bufBase + ids.LSN(len(l.buf))
+	l.mu.Unlock()
+	return l.syncTarget(target)
+}
+
+// SyncTo is ForceTo with the outcome exposed.
+func (l *Log) SyncTo(lsn ids.LSN) (SyncOutcome, error) {
+	if lsn.IsNil() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.closed {
+			return SyncClean, ErrClosed
+		}
+		l.m.CleanForces.Inc()
+		return SyncClean, nil
+	}
+	// The watermark only ever takes record-boundary values, so
+	// synced > lsn means the record starting at lsn is fully durable.
+	return l.syncTarget(lsn + 1)
+}
+
+// SyncedLSN returns the stable watermark: every record below it is
+// durable.
+func (l *Log) SyncedLSN() ids.LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.synced
+}
+
+// syncTarget blocks until the stable watermark reaches target (an
+// exclusive log position). Getting there may mean issuing the device
+// sync, piggybacking on one in flight, or — with group commit on —
+// joining the flusher's next batch.
+func (l *Log) syncTarget(target ids.LSN) (SyncOutcome, error) {
+	l.mu.Lock()
 	if l.closed {
-		return ErrClosed
+		l.mu.Unlock()
+		return SyncClean, ErrClosed
 	}
-	if !l.dirty && !l.flushed {
-		// A force of a clean log is free (this is exactly what lets the
-		// optimized discipline combine forces) — count it separately so
-		// no device-force accounting ever includes it.
+	if l.synced >= target {
 		l.m.CleanForces.Inc()
-		return nil
+		l.mu.Unlock()
+		return SyncClean, nil
+	}
+	if gc := l.gc; gc != nil {
+		l.mu.Unlock()
+		return gc.wait(target)
+	}
+	// Direct path: single-flight. A sync in flight may already cover
+	// our records — the paper's combined force, now without holding
+	// the mutex through device I/O.
+	for l.syncing {
+		l.syncDone.Wait()
+		if l.closed {
+			l.mu.Unlock()
+			return SyncClean, ErrClosed
+		}
+		if l.synced >= target {
+			l.m.GroupSyncsSaved.Inc()
+			l.mu.Unlock()
+			return SyncCombined, nil
+		}
+	}
+	_, err := l.syncLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return SyncClean, err
+	}
+	return SyncIssued, nil
+}
+
+// syncLocked performs one device sync covering everything appended so
+// far. Called with l.mu held; the mutex is RELEASED during the file
+// syncs — so Append never blocks behind an in-flight force — and
+// retaken to publish the new watermark. The syncing flag keeps syncs
+// single-flight. Reports whether a device sync actually happened
+// (false when a previous sync already covered the whole tail).
+func (l *Log) syncLocked() (bool, error) {
+	for l.syncing {
+		l.syncDone.Wait()
+		if l.closed {
+			return false, ErrClosed
+		}
 	}
 	start := time.Now()
 	if err := l.flushLocked(); err != nil {
-		return err
+		return false, err
 	}
+	target := l.bufBase
+	if target <= l.synced {
+		return false, nil
+	}
+	l.syncing = true
+	defer func() {
+		l.syncing = false
+		l.syncDone.Broadcast()
+	}()
+	type syncSnap struct {
+		s    *segment
+		size int64
+	}
+	snaps := make([]syncSnap, 0, len(l.unsynced))
 	for s := range l.unsynced {
-		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-		delete(l.unsynced, s)
+		snaps = append(snaps, syncSnap{s, s.size})
+	}
+	l.mu.Unlock()
+	errs := make([]error, len(snaps))
+	for i, sn := range snaps {
+		errs[i] = sn.s.f.Sync()
 	}
 	l.model.Sync()
-	l.synced = l.bufBase
-	l.dirty = false
-	l.flushed = false
+	l.mu.Lock()
+	if l.closed {
+		return false, ErrClosed
+	}
+	for i, sn := range snaps {
+		if errs[i] != nil {
+			if l.unsynced[sn.s] {
+				return false, fmt.Errorf("wal: sync: %w", errs[i])
+			}
+			continue // segment trimmed away mid-sync; nothing to keep
+		}
+		if sn.s.size == sn.size {
+			// Unchanged since the snapshot: fully synced. A segment that
+			// grew mid-sync stays unsynced for the next force.
+			delete(l.unsynced, sn.s)
+		}
+	}
+	if target > l.synced {
+		l.synced = target
+	}
 	l.stats.Forces++
 	l.m.Forces.Inc()
 	l.m.ForceMicros.Observe(time.Since(start).Microseconds())
-	return nil
+	return true, nil
 }
 
 // Flush writes buffered records to the files without syncing. Paper
@@ -621,10 +765,16 @@ func (l *Log) ResetStats() {
 }
 
 // Close flushes and closes the log without syncing (a crash may follow
-// Close in tests; durability comes only from Force).
+// Close in tests; durability comes only from Force). Pending
+// group-commit force requests are drained with a final sync first, so
+// no acknowledged-in-flight waiter is left behind.
 func (l *Log) Close() error {
+	l.stopGroupCommit(true)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.syncing {
+		l.syncDone.Wait()
+	}
 	if l.closed {
 		return nil
 	}
@@ -638,6 +788,20 @@ func (l *Log) Close() error {
 	return nil
 }
 
+// stopGroupCommit detaches and stops the flusher, if any. drain makes
+// pending force requests durable with a final sync; !drain fails them
+// with ErrClosed (their records were never acknowledged, so a crash is
+// allowed to lose them).
+func (l *Log) stopGroupCommit(drain bool) {
+	l.mu.Lock()
+	gc := l.gc
+	l.gc = nil
+	l.mu.Unlock()
+	if gc != nil {
+		gc.stopAndWait(drain)
+	}
+}
+
 // Discard closes the log simulating a process crash: buffered records
 // are dropped and the files are truncated back to the last forced
 // position, so only data made stable by Force survives. (A real crash
@@ -645,8 +809,12 @@ func (l *Log) Close() error {
 // sync watermark models the worst permitted loss, which redo recovery
 // must tolerate.)
 func (l *Log) Discard() error {
+	l.stopGroupCommit(false)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.syncing {
+		l.syncDone.Wait()
+	}
 	if l.closed {
 		return nil
 	}

@@ -62,8 +62,16 @@ type (
 	// same machine and name recovers it.
 	Process = core.Process
 	// Config holds the per-process runtime switches: logging mode,
-	// specialized types, multi-call optimization, checkpoint policies.
+	// specialized types, multi-call optimization, checkpoint policies,
+	// and group-commit batching (Config.GroupCommit).
 	Config = core.Config
+	// GroupCommit is the nested Config.GroupCommit section: Enabled
+	// routes the process log's forces through a dedicated flusher
+	// goroutine that satisfies each batch of concurrent committers
+	// with one device sync; MaxWait is the commit window (0 = 200µs)
+	// and MaxBatch the batch cap (0 = 64). The zero value disables
+	// batching — forces sync inline and combine only opportunistically.
+	GroupCommit = core.GroupCommit
 	// Handle is the creator's handle on a hosted component.
 	Handle = core.Handle
 	// Ref is a proxy for calling a component in another context.
