@@ -1,8 +1,8 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet build test race stress bench
+.PHONY: ci vet build test race stress recovery-stress bench
 
-ci: vet build test race stress
+ci: vet build test race stress recovery-stress
 
 vet:
 	go vet ./...
@@ -20,6 +20,13 @@ race:
 # flusher, its shutdown modes, and the crash-durability property.
 stress:
 	go test -race -count=2 -run 'GroupCommit' ./internal/wal/ ./internal/core/
+
+# Repeated crash/recover cycles with Pass-2 parallelism under the race
+# detector: the demux reader, per-context drains, worker slots, and the
+# serial-vs-parallel equivalence suites.
+recovery-stress:
+	go test -race -count=2 -run 'ParallelRecovery|ScanFrom' ./internal/core/ ./internal/wal/
+	go test -race -count=2 -run 'SellerParallelRecovery' ./internal/bookstore/
 
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30

@@ -49,6 +49,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.2, "clock scale: 1 = real time, 0.05 = 20x compressed")
 		calls       = flag.Int("calls", 60, "iterations per measured cell")
 		concurrency = flag.Int("concurrency", 8, "client count for the concurrent experiments (groupcommit)")
+		recoveryPar = flag.Int("recovery-parallelism", 8, "largest Config.Recovery.Parallelism the recovery experiment sweeps to")
 		seed        = flag.Int64("seed", 20040330, "random seed for jitter and phase noise")
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		jsonOut     = flag.Bool("json", false, "emit tables and metric snapshots as JSON")
@@ -63,7 +64,8 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed, Concurrency: *concurrency}.Defaults()
+	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed,
+		Concurrency: *concurrency, RecoveryParallelism: *recoveryPar}.Defaults()
 
 	var exps []*bench.Experiment
 	if *experiment != "" {

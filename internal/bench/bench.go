@@ -38,6 +38,9 @@ type Options struct {
 	// (group-commit): how many external clients commit against one
 	// server process at once.
 	Concurrency int
+	// RecoveryParallelism is the largest Config.Recovery.Parallelism
+	// the recovery experiment sweeps to (0, 1, 2, ... up to it).
+	RecoveryParallelism int
 	// Seed drives the network jitter.
 	Seed int64
 	// Dir is scratch space for logs; empty uses a temp dir per run.
@@ -57,6 +60,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.Concurrency <= 0 {
 		o.Concurrency = 8
+	}
+	if o.RecoveryParallelism <= 0 {
+		o.RecoveryParallelism = 8
 	}
 	if o.Seed == 0 {
 		o.Seed = 20040330

@@ -26,6 +26,39 @@ import (
 // and MaxBatch mean 200µs and 64.
 type GroupCommit = wal.GroupCommitConfig
 
+// Recovery configures crash recovery's replay engine (Config.Recovery).
+// Pass 1 (finding contexts and restart LSNs) is always a single
+// sequential scan — it is cheap and builds the maps Pass 2 needs. With
+// Parallelism > 0, Pass 2 partitions by context: one log reader
+// demultiplexes message records into per-context replay queues, and
+// bounded worker slots drain them concurrently — contexts are
+// single-threaded and independent by construction (Section 4.4), so
+// their replays need no mutual ordering. The tail calls (each
+// context's final buffered incoming call) still replay sequentially in
+// log order, preserving the serial path's cross-context resumption
+// argument. The zero value keeps today's strictly serial two-pass
+// replay, bit for bit.
+type Recovery struct {
+	// Parallelism bounds how many context replays execute concurrently
+	// during Pass 2. 0 selects the serial scan-and-replay path;
+	// 1 runs the partitioned engine with a single worker slot (same
+	// order of work, pipelined behind the reader).
+	Parallelism int
+	// QueueDepth bounds each context's replay queue — records buffered
+	// between the demux reader and that context's replayer. A full
+	// queue blocks the reader (backpressure, counted under
+	// recovery.pass2.queue_stalls). 0 means 64.
+	QueueDepth int
+}
+
+// queueDepth resolves the QueueDepth default.
+func (r Recovery) queueDepth() int {
+	if r.QueueDepth > 0 {
+		return r.QueueDepth
+	}
+	return 64
+}
+
 // LogMode selects the logging discipline for persistent components.
 type LogMode int
 
@@ -76,6 +109,12 @@ type Config struct {
 	// (or external clients) commit concurrently against one process
 	// log; a lone caller only pays the window latency.
 	GroupCommit GroupCommit
+	// Recovery parallelizes crash recovery's Pass 2 by context: a
+	// single reader demultiplexes the log into per-context replay
+	// queues drained by a bounded worker pool. The zero value keeps
+	// the serial two-pass recovery; worth turning on for processes
+	// hosting many contexts with long replay windows.
+	Recovery Recovery
 
 	// SaveStateEvery makes a context save a state record after every
 	// N-th incoming call it finishes (0 disables; Section 4.2).

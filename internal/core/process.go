@@ -61,6 +61,11 @@ type Process struct {
 	recoveryDone     chan struct{}
 	recoveryDoneOnce sync.Once
 
+	// lastRecovery holds the stats of the most recent crash-recovery
+	// run, nil before any recovery has happened.
+	recMu        sync.Mutex
+	lastRecovery *RecoveryStats
+
 	// pendingCkpt is the begin-LSN of a checkpoint written but not yet
 	// covered by a force; the first force whose stable watermark moves
 	// past pendingCkptEnd (the end-checkpoint record) writes the
@@ -142,6 +147,24 @@ func (p *Process) Config() Config { return p.cfg }
 // Recovered reports whether this process instance performed recovery
 // at start (i.e. it is a restart of a crashed process).
 func (p *Process) Recovered() bool { return p.recovered }
+
+// LastRecovery returns the stats of this process's most recent crash
+// recovery, or ok=false if it has never recovered. The same stats ride
+// on the EventRecoveryDone event.
+func (p *Process) LastRecovery() (RecoveryStats, bool) {
+	p.recMu.Lock()
+	defer p.recMu.Unlock()
+	if p.lastRecovery == nil {
+		return RecoveryStats{}, false
+	}
+	return *p.lastRecovery, true
+}
+
+func (p *Process) setLastRecovery(s RecoveryStats) {
+	p.recMu.Lock()
+	p.lastRecovery = &s
+	p.recMu.Unlock()
+}
 
 // LogStats exposes the log activity counters (forces per experiment,
 // Table 8's "Number of Forces").

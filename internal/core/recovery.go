@@ -28,6 +28,36 @@ import (
 // call table is rebuilt along the way — LSNs only; reply bodies are
 // fetched from the log when a duplicate call actually needs them.
 
+// RecoveryStats summarizes one crash-recovery run: what each pass
+// cost, how much log it covered, and how much replay work it did.
+// Durations are measured on the universe clock, so simulated runs
+// (NewVirtualClock, scaled bench clocks) report model time consistent
+// with every other model-time measurement; the recovery.* obs
+// histograms keep a wall-time copy. Retrieve the latest run's stats
+// with Process.LastRecovery, or from the EventRecoveryDone event that
+// carries them.
+type RecoveryStats struct {
+	// Pass1Duration covers the context-discovery scan plus context
+	// restoration; Pass2Duration covers message replay; TotalDuration
+	// is the whole recovery including event bookkeeping.
+	Pass1Duration time.Duration
+	Pass2Duration time.Duration
+	TotalDuration time.Duration
+	// ContextsRestored counts contexts rebuilt from creation or state
+	// records.
+	ContextsRestored int
+	// RecordsScanned counts log records visited across both passes.
+	RecordsScanned int64
+	// CallsReplayed counts incoming calls re-executed; CallsSuppressed
+	// counts outgoing sends answered from the log during those replays.
+	CallsReplayed   int64
+	CallsSuppressed int64
+	// WorkersUsed is the number of Pass-2 replay worker slots
+	// (min(Config.Recovery.Parallelism, contexts with records));
+	// 0 means the serial path ran.
+	WorkersUsed int
+}
+
 // recover restores the process from its log. It runs before the
 // process starts listening, so no concurrent calls arrive.
 func (p *Process) recover() error {
@@ -42,14 +72,17 @@ func (p *Process) recover() error {
 		return err
 	}
 	p.obs.RecoveryRuns.Inc()
-	recStart := time.Now()
+	clock := p.u.cfg.Clock
+	var stats RecoveryStats
+	recStart, recWall := clock.Now(), time.Now()
 	p.emitEvent(Event{Kind: EventRecoveryStart, LSN: start,
 		Detail: fmt.Sprintf("scanning from %v", start)})
 
 	// ---- Pass 1: find contexts and their restart LSNs. ----
-	pass1Start := time.Now()
+	pass1Start, pass1Wall := clock.Now(), time.Now()
 	restart := make(map[ids.CompID]ids.LSN)
 	err := p.log.Scan(start, func(rec wal.Record) error {
+		stats.RecordsScanned++
 		switch rec.Type {
 		case recCreation:
 			// Process checkpoints re-emit creation records for
@@ -116,10 +149,14 @@ func (p *Process) recover() error {
 		return fmt.Errorf("recovery pass 1: %w", err)
 	}
 	if len(restart) == 0 {
-		p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Start).Microseconds())
-		p.obs.RecoveryMicros.Observe(time.Since(recStart).Microseconds())
+		p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Wall).Microseconds())
+		p.obs.RecoveryMicros.Observe(time.Since(recWall).Microseconds())
+		stats.Pass1Duration = clock.Now().Sub(pass1Start)
+		stats.TotalDuration = clock.Now().Sub(recStart)
+		p.setLastRecovery(stats)
 		p.recovered = true
-		p.emitEvent(Event{Kind: EventRecoveryDone, Detail: "no contexts to restore"})
+		p.emitEvent(Event{Kind: EventRecoveryDone, Recovery: &stats,
+			Detail: "no contexts to restore"})
 		return nil
 	}
 
@@ -137,27 +174,46 @@ func (p *Process) recover() error {
 		}
 	}
 	p.obs.ContextsRestored.Add(int64(len(restored)))
-	p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Start).Microseconds())
+	p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Wall).Microseconds())
+	stats.ContextsRestored = len(restored)
+	stats.Pass1Duration = clock.Now().Sub(pass1Start)
 
 	// ---- Pass 2: replay incoming calls per context. ----
-	pass2Start := time.Now()
-	if err := p.replayFrom(minLSN, nil); err != nil {
-		return fmt.Errorf("recovery pass 2: %w", err)
+	pass2Start, pass2Wall := clock.Now(), time.Now()
+	if par := p.cfg.Recovery.Parallelism; par > 0 {
+		scanned, workers, err := p.replayParallel(minLSN, par, p.cfg.Recovery.queueDepth())
+		if err != nil {
+			return fmt.Errorf("recovery pass 2: %w", err)
+		}
+		stats.RecordsScanned += scanned
+		stats.WorkersUsed = workers
+	} else {
+		scanned, err := p.replayFrom(minLSN, nil)
+		if err != nil {
+			return fmt.Errorf("recovery pass 2: %w", err)
+		}
+		stats.RecordsScanned += scanned
 	}
-	p.obs.RecoveryPass2Micros.Observe(time.Since(pass2Start).Microseconds())
+	p.obs.RecoveryPass2Micros.Observe(time.Since(pass2Wall).Microseconds())
+	stats.Pass2Duration = clock.Now().Sub(pass2Start)
 	// Contexts with no tail call to replay become available now.
 	for _, cx := range restored {
 		cx.markReady()
 	}
 	p.recovered = true
-	p.obs.RecoveryMicros.Observe(time.Since(recStart).Microseconds())
+	p.obs.RecoveryMicros.Observe(time.Since(recWall).Microseconds())
 	replayed := p.replayedCalls.Load()
 	suppressed := p.suppressedCalls.Load()
+	stats.CallsReplayed = replayed
+	stats.CallsSuppressed = suppressed
+	stats.TotalDuration = clock.Now().Sub(recStart)
+	p.setLastRecovery(stats)
 	p.emitEvent(Event{
 		Kind:       EventRecoveryDone,
 		Restored:   len(restored),
 		Replayed:   replayed,
 		Suppressed: suppressed,
+		Recovery:   &stats,
 		Detail: fmt.Sprintf("%d contexts restored, %d calls replayed, %d sends suppressed",
 			len(restored), replayed, suppressed),
 	})
@@ -308,8 +364,8 @@ func (r *ctxResolver) ResolveLocal(id ids.CompID, fieldType reflect.Type) (any, 
 // incoming calls of the selected contexts (nil = all). Message records
 // older than a context's restart LSN are skipped ("If a message log
 // record occurs earlier than the latest state record of the same
-// context, it is ignored").
-func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
+// context, it is ignored"). Returns the number of records visited.
+func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, error) {
 	type ctxReplay struct {
 		pending    *incomingRec
 		pendingLSN ids.LSN
@@ -340,7 +396,9 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 		return lsn < cx.restartLSN
 	}
 
+	var scanned int64
 	err := p.log.Scan(lsn, func(rec wal.Record) error {
+		scanned++
 		switch rec.Type {
 		case recIncoming:
 			var ir incomingRec
@@ -375,7 +433,7 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return scanned, err
 	}
 
 	// "After this pass, the recovery manager replays the remaining
@@ -403,13 +461,13 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) error {
 		st := states[id]
 		cx := ctxOf(id)
 		if err := p.replayIncoming(cx, st.pending, st.pendingLSN, st.replies); err != nil {
-			return err
+			return scanned, err
 		}
 		if cx != nil {
 			cx.markReady()
 		}
 	}
-	return nil
+	return scanned, nil
 }
 
 // replayIncoming re-executes one logged incoming call. Outgoing calls
@@ -474,7 +532,7 @@ func (p *Process) RecoverContext(name string) error {
 	if err != nil {
 		return err
 	}
-	err = p.replayFrom(restart, map[ids.CompID]bool{cx.parent.id: true})
+	_, err = p.replayFrom(restart, map[ids.CompID]bool{cx.parent.id: true})
 	cx.markReady()
 	return err
 }

@@ -1,0 +1,203 @@
+package core
+
+// This file is the partitioned Pass-2 engine behind Config.Recovery.
+// Contexts are single-threaded and independent by construction
+// (Section 4.4), so their replays need no mutual ordering: a single
+// reader walks the log once and demultiplexes message records into
+// per-context bounded queues, each drained by its own goroutine; a
+// semaphore of Parallelism slots bounds how many replayIncoming
+// executions run at once. Two things stay sequential on purpose:
+//   - Non-tail replays never resume live execution (the log-prefix
+//     argument: if a later incoming record for the context survived
+//     the crash, every earlier record — including the previous call's
+//     outgoing replies — survived too), so concurrent drains touch
+//     only per-context state plus the thread-safe last-call table,
+//     whose putReplayed is monotonic per caller and converges to the
+//     serial result under any interleaving.
+//   - Tail calls (each context's final buffered incoming call) may
+//     resume live and call into other contexts of this process, so
+//     the coordinator replays them serially in log order after every
+//     queue drains — exactly the serial path's cross-context
+//     resumption argument, verbatim.
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+// pass2Item is one demultiplexed Pass-2 record; exactly one of
+// incoming or reply is set.
+type pass2Item struct {
+	incoming *incomingRec
+	reply    *outgoingReplyRec
+	lsn      ids.LSN
+}
+
+// ctxQueue is one context's replay lane: a bounded channel fed by the
+// demux reader and drained by a single goroutine. The tail fields are
+// written only by the drain goroutine and read by the coordinator
+// after wg.Wait, so they need no lock.
+type ctxQueue struct {
+	cx         *Context
+	ch         chan pass2Item
+	err        error
+	pending    *incomingRec
+	pendingLSN ids.LSN
+	replies    map[uint64]*msg.Reply
+}
+
+// replayParallel is pass 2 with Config.Recovery.Parallelism > 0. It
+// visits the same records replayFrom would, replays the same incoming
+// calls, and leaves the same component state and last-call table;
+// only the interleaving of non-tail replays differs. Returns the
+// records visited and the worker-slot count used.
+func (p *Process) replayParallel(from ids.LSN, parallelism, depth int) (int64, int, error) {
+	cur, err := p.log.ScanFrom(from)
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		queues = make(map[ids.CompID]*ctxQueue) // nil value: context dropped, skip
+		slots  = make(chan struct{}, parallelism)
+		wg     sync.WaitGroup
+	)
+	ctxOf := func(id ids.CompID) *Context {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.contexts[id]
+	}
+	drain := func(q *ctxQueue) {
+		defer wg.Done()
+		for it := range q.ch {
+			if q.err != nil {
+				continue // unblock the reader, drop the rest
+			}
+			if it.incoming == nil {
+				reply := it.reply.Reply
+				q.replies[it.reply.Seq] = &reply
+				continue
+			}
+			if q.pending != nil {
+				// All messages of the previous incoming call are now
+				// buffered: replay it, holding a worker slot.
+				slots <- struct{}{}
+				err := p.replayIncoming(q.cx, q.pending, q.pendingLSN, q.replies)
+				<-slots
+				if err != nil {
+					q.err = err
+					continue
+				}
+			}
+			q.pending = it.incoming
+			q.pendingLSN = it.lsn
+			q.replies = make(map[uint64]*msg.Reply)
+		}
+	}
+	getQueue := func(id ids.CompID, lsn ids.LSN) *ctxQueue {
+		q, seen := queues[id]
+		if !seen {
+			if cx := ctxOf(id); cx != nil {
+				q = &ctxQueue{cx: cx, ch: make(chan pass2Item, depth),
+					replies: make(map[uint64]*msg.Reply)}
+				wg.Add(1)
+				go drain(q)
+			}
+			queues[id] = q
+		}
+		if q == nil || lsn < q.cx.restartLSN {
+			return nil // dropped context, or record older than its state record
+		}
+		return q
+	}
+
+	var (
+		scanned int64
+		readErr error
+	)
+scan:
+	for {
+		rec, ok, err := cur.Next()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		scanned++
+		var (
+			q  *ctxQueue
+			it pass2Item
+		)
+		switch rec.Type {
+		case recIncoming:
+			var ir incomingRec
+			if err := decodeRec(rec.Payload, &ir); err != nil {
+				readErr = err
+				break scan
+			}
+			q, it = getQueue(ir.Ctx, rec.LSN), pass2Item{incoming: &ir, lsn: rec.LSN}
+		case recOutgoingReply:
+			var or outgoingReplyRec
+			if err := decodeRec(rec.Payload, &or); err != nil {
+				readErr = err
+				break scan
+			}
+			q, it = getQueue(or.Ctx, rec.LSN), pass2Item{reply: &or, lsn: rec.LSN}
+		default:
+			continue
+		}
+		if q == nil {
+			continue
+		}
+		p.obs.RecoveryPass2Demuxed.Inc()
+		p.obs.RecoveryPass2QueueDepth.Observe(int64(len(q.ch)))
+		if len(q.ch) == cap(q.ch) {
+			p.obs.RecoveryPass2Stalls.Inc()
+		}
+		q.ch <- it
+	}
+
+	live := 0
+	for _, q := range queues {
+		if q != nil {
+			close(q.ch)
+			live++
+		}
+	}
+	wg.Wait()
+	workers := parallelism
+	if live < workers {
+		workers = live
+	}
+	p.obs.RecoveryPass2Workers.Observe(int64(workers))
+	if readErr != nil {
+		return scanned, workers, readErr
+	}
+	for _, q := range queues {
+		if q != nil && q.err != nil {
+			return scanned, workers, q.err
+		}
+	}
+
+	// Tail replays may resume live execution, so they run serially in
+	// log order — the original arrival order — exactly as replayFrom
+	// does (see the comment there).
+	tails := make([]*ctxQueue, 0, live)
+	for _, q := range queues {
+		if q != nil && q.pending != nil {
+			tails = append(tails, q)
+		}
+	}
+	sort.Slice(tails, func(i, j int) bool { return tails[i].pendingLSN < tails[j].pendingLSN })
+	for _, q := range tails {
+		if err := p.replayIncoming(q.cx, q.pending, q.pendingLSN, q.replies); err != nil {
+			return scanned, workers, err
+		}
+		q.cx.markReady()
+	}
+	return scanned, workers, nil
+}

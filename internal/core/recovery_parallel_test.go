@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// These tests pin the Config.Recovery contract: recovering the same
+// crashed log with Parallelism 0 (serial), 1, 4 and 8 must produce
+// identical component state, identical last-call tables, and identical
+// replay/suppression counts. Each parallelism level recovers its own
+// copy of the crashed universe directory. Run under -race: the
+// parallel engine's demux reader, drain goroutines and worker slots
+// all execute here.
+
+// copyDir clones a universe directory so each recovery attempt starts
+// from the same crashed on-disk state.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recoveryOutcome is everything the equivalence tests compare.
+type recoveryOutcome struct {
+	counters   map[string]int
+	relayCalls map[string]int
+	lastCalls  []lastCallSaved
+	suppressed int64
+	stats      RecoveryStats
+}
+
+// recoverCopy clones the crashed universe at srcDir and recovers the
+// "srv" process with the given Pass-2 parallelism, returning what
+// recovery produced.
+func recoverCopy(t *testing.T, srcDir string, counters, relays []string, par int) recoveryOutcome {
+	t.Helper()
+	dst := t.TempDir()
+	copyDir(t, srcDir, dst)
+	u, err := NewUniverse(UniverseConfig{Dir: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Shutdown()
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Recovery = Recovery{Parallelism: par, QueueDepth: 2} // tiny queue: force backpressure
+	p, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatalf("parallelism %d: restart: %v", par, err)
+	}
+	if !p.Recovered() {
+		t.Fatalf("parallelism %d: restarted process did not recover", par)
+	}
+
+	out := recoveryOutcome{
+		counters:   make(map[string]int),
+		relayCalls: make(map[string]int),
+		suppressed: p.suppressedCalls.Load(),
+	}
+	for _, name := range counters {
+		h, ok := p.Lookup(name)
+		if !ok {
+			t.Fatalf("parallelism %d: counter %s missing after recovery", par, name)
+		}
+		out.counters[name] = h.Object().(*Counter).N
+	}
+	for _, name := range relays {
+		h, ok := p.Lookup(name)
+		if !ok {
+			t.Fatalf("parallelism %d: relay %s missing after recovery", par, name)
+		}
+		out.relayCalls[name] = h.Object().(*Relay).Calls
+	}
+	out.lastCalls = p.lastCalls.snapshot()
+	sort.Slice(out.lastCalls, func(i, j int) bool {
+		a, b := out.lastCalls[i], out.lastCalls[j]
+		if a.Caller != b.Caller {
+			return fmt.Sprint(a.Caller) < fmt.Sprint(b.Caller)
+		}
+		return a.Seq < b.Seq
+	})
+	stats, ok := p.LastRecovery()
+	if !ok {
+		t.Fatalf("parallelism %d: LastRecovery reported no run", par)
+	}
+	out.stats = stats
+	return out
+}
+
+// assertEquivalent compares a parallel recovery's outcome against the
+// serial baseline.
+func assertEquivalent(t *testing.T, par int, base, got recoveryOutcome) {
+	t.Helper()
+	for name, want := range base.counters {
+		if got.counters[name] != want {
+			t.Errorf("parallelism %d: counter %s = %d, serial recovered %d",
+				par, name, got.counters[name], want)
+		}
+	}
+	for name, want := range base.relayCalls {
+		if got.relayCalls[name] != want {
+			t.Errorf("parallelism %d: relay %s calls = %d, serial recovered %d",
+				par, name, got.relayCalls[name], want)
+		}
+	}
+	if len(got.lastCalls) != len(base.lastCalls) {
+		t.Errorf("parallelism %d: last-call table has %d entries, serial has %d",
+			par, len(got.lastCalls), len(base.lastCalls))
+	} else {
+		for i := range base.lastCalls {
+			if got.lastCalls[i] != base.lastCalls[i] {
+				t.Errorf("parallelism %d: last-call entry %d = %+v, serial %+v",
+					par, i, got.lastCalls[i], base.lastCalls[i])
+			}
+		}
+	}
+	if got.suppressed != base.suppressed {
+		t.Errorf("parallelism %d: suppressed %d sends, serial suppressed %d",
+			par, got.suppressed, base.suppressed)
+	}
+	if got.stats.CallsReplayed != base.stats.CallsReplayed {
+		t.Errorf("parallelism %d: replayed %d calls, serial replayed %d",
+			par, got.stats.CallsReplayed, base.stats.CallsReplayed)
+	}
+	if got.stats.RecordsScanned != base.stats.RecordsScanned {
+		t.Errorf("parallelism %d: scanned %d records, serial scanned %d",
+			par, got.stats.RecordsScanned, base.stats.RecordsScanned)
+	}
+	if got.stats.ContextsRestored != base.stats.ContextsRestored {
+		t.Errorf("parallelism %d: restored %d contexts, serial restored %d",
+			par, got.stats.ContextsRestored, base.stats.ContextsRestored)
+	}
+	if par == 0 && got.stats.WorkersUsed != 0 {
+		t.Errorf("serial recovery reports %d workers", got.stats.WorkersUsed)
+	}
+	if par > 0 && (got.stats.WorkersUsed < 1 || got.stats.WorkersUsed > par) {
+		t.Errorf("parallelism %d: WorkersUsed = %d, want 1..%d",
+			par, got.stats.WorkersUsed, par)
+	}
+}
+
+var equivalenceLevels = []int{0, 1, 4, 8}
+
+// TestParallelRecoveryEquivalenceWorkload crashes a process hosting
+// many counters plus relays (whose replays suppress outgoing sends
+// answered from the log) and recovers it at every parallelism level.
+func TestParallelRecoveryEquivalenceWorkload(t *testing.T) {
+	dir := t.TempDir()
+	u, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.StartProcess("srv", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var counters, relays []string
+	refs := make(map[string]*Ref)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("C%d", i)
+		h, err := p.Create(name, &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters = append(counters, name)
+		refs[name] = u.ExternalRef(h.URI())
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("R%d", i)
+		target, _ := p.Lookup(fmt.Sprintf("C%d", i))
+		h, err := p.Create(name, &Relay{Server: NewRef(target.URI())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays = append(relays, name)
+		refs[name] = u.ExternalRef(h.URI())
+	}
+	for round := 1; round <= 8; round++ {
+		for i, name := range counters {
+			callInt(t, refs[name], "Add", i+round)
+		}
+		for _, name := range relays {
+			callInt(t, refs[name], "Forward", 10)
+		}
+	}
+	p.Crash()
+	u.Shutdown()
+
+	base := recoverCopy(t, dir, counters, relays, 0)
+	if base.suppressed == 0 {
+		t.Error("workload produced no suppressed sends; relays did not exercise replay suppression")
+	}
+	if base.stats.CallsReplayed == 0 {
+		t.Error("workload produced no replayed calls")
+	}
+	for _, par := range equivalenceLevels[1:] {
+		assertEquivalent(t, par, base, recoverCopy(t, dir, counters, relays, par))
+	}
+}
+
+// TestParallelRecoveryEquivalenceCrashPoints repeats the equivalence
+// check for logs truncated by mid-call crash injection, including a
+// crash between logging an incoming call and executing it — the case
+// where the tail replay runs off the end of the log and resumes live.
+func TestParallelRecoveryEquivalenceCrashPoints(t *testing.T) {
+	points := []InjectionPoint{
+		PointServerAfterLogIncoming,
+		PointServerAfterExecute,
+		PointServerBeforeSendReply,
+	}
+	for _, point := range points {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			u, err := NewUniverse(UniverseConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := u.AddMachine("evo1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			// Fire mid-call late in the run so earlier calls replay
+			// normally and the last one exercises the crash point.
+			cfg.Injector = NewInjector().CrashAt(point, 12)
+			p, err := m.StartProcess("srv", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var counters []string
+			refs := make(map[string]*Ref)
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("C%d", i)
+				h, err := p.Create(name, &Counter{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counters = append(counters, name)
+				refs[name] = u.ExternalRef(h.URI()).WithoutRetry()
+			}
+			crashed := false
+			for round := 1; round <= 5 && !crashed; round++ {
+				for i, name := range counters {
+					if _, err := refs[name].Call("Add", i+round); err != nil {
+						crashed = true
+						break
+					}
+				}
+			}
+			if !crashed {
+				t.Fatalf("injector at %s never fired", point)
+			}
+			u.Shutdown()
+
+			base := recoverCopy(t, dir, counters, nil, 0)
+			for _, par := range equivalenceLevels[1:] {
+				assertEquivalent(t, par, base, recoverCopy(t, dir, counters, nil, par))
+			}
+		})
+	}
+}

@@ -89,6 +89,10 @@ type Event struct {
 	Restored   int
 	Replayed   int64
 	Suppressed int64
+	// Recovery carries the full RecoveryStats of the run on
+	// EventRecoveryDone (pass durations on the universe clock, records
+	// scanned, worker count); nil on every other kind.
+	Recovery *RecoveryStats
 	// Detail is a short human-readable elaboration.
 	Detail string
 }

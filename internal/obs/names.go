@@ -102,6 +102,25 @@ const (
 	RecoveryPass2Micros = "recovery.pass2_micros"
 	RecoveryMicros      = "recovery.total_micros"
 
+	// --- parallel Pass 2 (Config.Recovery). The demux reader and the
+	// worker slots are accounted per recovery run; queue depths are
+	// observed at each enqueue, so the histogram's shape shows whether
+	// the bounded queues ever filled (stalls count the enqueues that
+	// found a queue full and blocked the reader). ---
+
+	// RecoveryPass2Workers is the replay-worker-slots-used distribution,
+	// observed once per parallel recovery run.
+	RecoveryPass2Workers = "recovery.pass2.workers"
+	// RecoveryPass2QueueDepth is the per-context replay queue depth at
+	// each enqueue.
+	RecoveryPass2QueueDepth = "recovery.pass2.queue_depth"
+	// RecoveryPass2Demuxed counts records the Pass-2 reader routed into
+	// per-context replay queues.
+	RecoveryPass2Demuxed = "recovery.pass2.demuxed_records"
+	// RecoveryPass2Stalls counts enqueues that found the target queue
+	// full — backpressure on the single reader.
+	RecoveryPass2Stalls = "recovery.pass2.queue_stalls"
+
 	// --- rpc / transport ---
 
 	RPCCalls   = "rpc.calls"
@@ -194,13 +213,17 @@ type RuntimeMetrics struct {
 	StateSaves  *Counter
 	Trims       *Counter
 
-	RecoveryRuns        *Counter
-	ContextsRestored    *Counter
-	ReplayedCalls       *Counter
-	SuppressedSends     *Counter
-	RecoveryPass1Micros *Histogram
-	RecoveryPass2Micros *Histogram
-	RecoveryMicros      *Histogram
+	RecoveryRuns            *Counter
+	ContextsRestored        *Counter
+	ReplayedCalls           *Counter
+	SuppressedSends         *Counter
+	RecoveryPass1Micros     *Histogram
+	RecoveryPass2Micros     *Histogram
+	RecoveryMicros          *Histogram
+	RecoveryPass2Workers    *Histogram
+	RecoveryPass2QueueDepth *Histogram
+	RecoveryPass2Demuxed    *Counter
+	RecoveryPass2Stalls     *Counter
 
 	RPCCalls        *Counter
 	RPCRetries      *Counter
@@ -243,13 +266,17 @@ func RuntimeView(r *Registry) *RuntimeMetrics {
 		StateSaves:  r.Counter(StateSaves),
 		Trims:       r.Counter(Trims),
 
-		RecoveryRuns:        r.Counter(RecoveryRuns),
-		ContextsRestored:    r.Counter(ContextsRestored),
-		ReplayedCalls:       r.Counter(ReplayedCalls),
-		SuppressedSends:     r.Counter(SuppressedSends),
-		RecoveryPass1Micros: r.Histogram(RecoveryPass1Micros),
-		RecoveryPass2Micros: r.Histogram(RecoveryPass2Micros),
-		RecoveryMicros:      r.Histogram(RecoveryMicros),
+		RecoveryRuns:            r.Counter(RecoveryRuns),
+		ContextsRestored:        r.Counter(ContextsRestored),
+		ReplayedCalls:           r.Counter(ReplayedCalls),
+		SuppressedSends:         r.Counter(SuppressedSends),
+		RecoveryPass1Micros:     r.Histogram(RecoveryPass1Micros),
+		RecoveryPass2Micros:     r.Histogram(RecoveryPass2Micros),
+		RecoveryMicros:          r.Histogram(RecoveryMicros),
+		RecoveryPass2Workers:    r.Histogram(RecoveryPass2Workers),
+		RecoveryPass2QueueDepth: r.Histogram(RecoveryPass2QueueDepth),
+		RecoveryPass2Demuxed:    r.Counter(RecoveryPass2Demuxed),
+		RecoveryPass2Stalls:     r.Counter(RecoveryPass2Stalls),
 
 		RPCCalls:        r.Counter(RPCCalls),
 		RPCRetries:      r.Counter(RPCRetries),

@@ -676,6 +676,67 @@ func (l *Log) Scan(from ids.LSN, fn func(Record) error) error {
 	return nil
 }
 
+// Cursor is a stateful forward iterator over the log, as returned by
+// ScanFrom. Unlike Scan — which holds the whole traversal inside one
+// call — a cursor hands out one record per Next, so several consumers
+// (recovery passes, concurrent readers of disjoint ranges) can each
+// hold their own position without coordinating. A cursor is NOT safe
+// for concurrent use by multiple goroutines; concurrency comes from
+// giving each consumer its own cursor, which the log (safe for
+// concurrent use) serves independently.
+type Cursor struct {
+	l   *Log
+	lsn ids.LSN // position of the next record to return
+	end ids.LSN // snapshot of the log end at ScanFrom time
+}
+
+// ScanFrom returns a cursor positioned at lsn (or the log start if lsn
+// is nil or trimmed away). The cursor sees the records present when
+// ScanFrom ran: buffered records are flushed so they are readable, and
+// records appended afterwards are not visited — the same bounded view
+// Scan takes, reified so concurrent consumers can each hold one.
+func (l *Log) ScanFrom(lsn ids.LSN) (*Cursor, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	end := l.bufBase
+	start := l.segs[0].start
+	l.mu.Unlock()
+	if lsn.IsNil() || lsn < start {
+		lsn = start
+	}
+	return &Cursor{l: l, lsn: lsn, end: end}, nil
+}
+
+// Next returns the next record and advances the cursor. ok is false at
+// the end of the cursor's view (err is nil there).
+func (c *Cursor) Next() (rec Record, ok bool, err error) {
+	if c.lsn+frameSize > c.end {
+		return Record{}, false, nil
+	}
+	c.l.mu.Lock()
+	if c.l.closed {
+		c.l.mu.Unlock()
+		return Record{}, false, ErrClosed
+	}
+	rec, err = c.l.readLocked(c.lsn)
+	c.l.mu.Unlock()
+	if err != nil {
+		return Record{}, false, err
+	}
+	c.lsn += ids.LSN(frameSize + len(rec.Payload))
+	return rec, true, nil
+}
+
+// LSN returns the position of the record Next would return.
+func (c *Cursor) LSN() ids.LSN { return c.lsn }
+
 // Next returns the LSN of the record following the record at lsn.
 func (l *Log) Next(lsn ids.LSN) (ids.LSN, error) {
 	rec, err := l.Read(lsn)

@@ -63,7 +63,8 @@ type (
 	Process = core.Process
 	// Config holds the per-process runtime switches: logging mode,
 	// specialized types, multi-call optimization, checkpoint policies,
-	// and group-commit batching (Config.GroupCommit).
+	// group-commit batching (Config.GroupCommit), and recovery
+	// parallelism (Config.Recovery).
 	Config = core.Config
 	// GroupCommit is the nested Config.GroupCommit section: Enabled
 	// routes the process log's forces through a dedicated flusher
@@ -72,6 +73,20 @@ type (
 	// and MaxBatch the batch cap (0 = 64). The zero value disables
 	// batching — forces sync inline and combine only opportunistically.
 	GroupCommit = core.GroupCommit
+	// Recovery is the nested Config.Recovery section: Parallelism > 0
+	// partitions recovery's Pass 2 by context — one log reader
+	// demultiplexes message records into per-context replay queues
+	// drained by a bounded worker pool — while Pass 1 and the tail
+	// calls stay sequential. QueueDepth bounds each context's queue
+	// (0 = 64). The zero value keeps the strictly serial two-pass
+	// replay, bit for bit.
+	Recovery = core.Recovery
+	// RecoveryStats summarizes a crash-recovery run: per-pass durations
+	// (measured on the universe clock), contexts restored, records
+	// scanned, calls replayed, sends suppressed, and worker slots used.
+	// Retrieve it with Process.LastRecovery or from the
+	// EventRecoveryDone event's Recovery field.
+	RecoveryStats = core.RecoveryStats
 	// Handle is the creator's handle on a hosted component.
 	Handle = core.Handle
 	// Ref is a proxy for calling a component in another context.
