@@ -1,11 +1,29 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet build test race stress recovery-stress bench
+.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress bench
 
-ci: vet build test race stress recovery-stress
+ci: vet lint build test race stress recovery-stress
 
 vet:
 	go vet ./...
+
+# The repository's own discipline analyzers (internal/lint): forced
+# append sites, wall-clock reads, device I/O under the wal mutex,
+# exhaustive enum switches, metric-name hygiene. staticcheck and
+# govulncheck run when installed (CI installs them; offline dev
+# machines may not have them).
+lint:
+	go run ./cmd/phoenix-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
+
+# Print every diagnostic the analyzers produce for the testdata
+# fixtures — use this to refresh `// want` comments after changing an
+# analyzer's message format.
+lint-fix-fixtures:
+	PHOENIX_LINT_PRINT=1 go test ./internal/lint/ -run 'Fixture' -v
 
 build:
 	go build ./...

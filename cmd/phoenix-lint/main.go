@@ -1,0 +1,195 @@
+// Command phoenix-lint runs the repository's discipline analyzers
+// (internal/lint): forcesite, wallclock, locksync, exhaustive and
+// metricnames. It has two modes:
+//
+// Standalone (the usual one; what `make lint` and CI run):
+//
+//	go run ./cmd/phoenix-lint ./...
+//
+// loads the matched packages, runs the full suite — including the
+// cross-package metricnames reconciliation — and exits 1 with one
+// line per violation if the tree is not clean.
+//
+// Vet tool:
+//
+//	go vet -vettool=$(which phoenix-lint) ./...
+//
+// follows the unitchecker protocol (-V=full fingerprinting, one JSON
+// .cfg per package). Unit invocations see one package at a time, so
+// this mode runs the per-package analyzers only; metricnames needs
+// the standalone whole-tree view.
+//
+// Deliberate exceptions live in internal/lint/phoenix-lint.allow
+// (embedded at build time); -allow substitutes a different file.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	versionFlag := flag.String("V", "", "print version and exit (go vet tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
+	jsonFlag := flag.Bool("json", false, "in vet-unit mode, emit diagnostics as unitchecker JSON on stdout")
+	allowPath := flag.String("allow", "", "allowlist file to use instead of the embedded phoenix-lint.allow")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: phoenix-lint [-allow file] [package pattern ...]\n\nDefaults to ./... . Flags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// `go vet` fingerprints its -vettool with -V=full and caches
+		// unit results against the reply, so the ID must change
+		// whenever the analyzers do: hash the executable itself.
+		id, err := selfID()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 1
+		}
+		fmt.Printf("phoenix-lint version devel buildID=%s\n", id)
+		return 0
+	}
+	if *flagsFlag {
+		// go vet asks which flags the tool understands before deciding
+		// what to forward; phoenix-lint takes no per-analyzer flags.
+		fmt.Println("[]")
+		return 0
+	}
+
+	var allow *lint.Allowlist // nil selects the embedded default
+	if *allowPath != "" {
+		a, err := lint.LoadAllowlist(*allowPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 2
+		}
+		allow = a
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0], allow, *jsonFlag)
+	}
+	diags, err := lint.Check(".", allow, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "phoenix-lint: %d violation(s); fix them or add a '# why'-commented entry to internal/lint/phoenix-lint.allow\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selfID returns a content hash of the running binary.
+func selfID() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
+}
+
+// vetUnit is one `go vet` package invocation.
+func vetUnit(cfgPath string, allow *lint.Allowlist, asJSON bool) int {
+	cfg, err := lint.LoadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+		return 1
+	}
+	// phoenix-lint keeps no analysis facts, but go vet insists the
+	// facts file exists before it will cache the unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The disciplines bind production code: standalone mode never
+	// parses test files (tests wait on real deadlines), so skip the
+	// test-variant units go vet also hands us.
+	if cfg.IsTestUnit() {
+		if asJSON {
+			if err := writeJSON(os.Stdout, cfg.ImportPath, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	pkg, err := cfg.LoadPackage()
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+		return 1
+	}
+	runner := &lint.Runner{Analyzers: lint.UnitAnalyzers(allow)}
+	diags, err := runner.Run([]*lint.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+		return 1
+	}
+	if asJSON {
+		if err := writeJSON(os.Stdout, cfg.ImportPath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeJSON emits diagnostics in the unitchecker JSON shape:
+// importpath -> analyzer -> [{posn, message}].
+func writeJSON(w io.Writer, importPath string, diags []lint.Diagnostic) error {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+			jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(map[string]map[string][]jsonDiag{importPath: byAnalyzer})
+}

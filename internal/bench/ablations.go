@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	phoenix "repro"
 )
@@ -239,13 +238,16 @@ func runAblationCkptInterval(o Options) (*Table, error) {
 			states = workload / every
 		}
 		p.Crash()
-		start := time.Now()
-		p2, err := m.StartProcess("srv", cfg)
+		var p2 *phoenix.Process
+		elapsed, err := e.elapsed(func() error {
+			var err error
+			p2, err = m.StartProcess("srv", cfg)
+			return err
+		})
 		if err != nil {
 			e.Close()
 			return nil, err
 		}
-		elapsed := time.Since(start)
 		if hh, ok := p2.Lookup("Server"); !ok || hh.Object().(*BenchServer).N != workload {
 			e.Close()
 			return nil, fmt.Errorf("ablation-ckpt: bad recovery at interval %d", every)

@@ -123,12 +123,15 @@ func runRecoveryCell(o Options, par int) ([]string, error) {
 	}
 	p.Crash()
 
-	start := time.Now()
-	p2, err := m.StartProcess(proc, cfg)
+	var p2 *phoenix.Process
+	restart, err := e.elapsed(func() error {
+		var err error
+		p2, err = m.StartProcess(proc, cfg)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	restart := time.Since(start)
 	defer p2.Close()
 	// Sanity: every context replayed its whole backlog.
 	for i := 0; i < recoveryContexts; i++ {

@@ -68,12 +68,15 @@ func runTable7(o Options) (*Table, error) {
 		}
 		p.Crash()
 
-		start := time.Now()
-		p2, err := m.StartProcess(proc, cfg)
+		var p2 *phoenix.Process
+		elapsed, err := e.elapsed(func() error {
+			var err error
+			p2, err = m.StartProcess(proc, cfg)
+			return err
+		})
 		if err != nil {
 			return 0, err
 		}
-		elapsed := time.Since(start)
 		// Sanity: the recovered state must be complete.
 		h2, ok := p2.Lookup("Server")
 		if !ok {
@@ -103,13 +106,17 @@ func runTable7(o Options) (*Table, error) {
 			return nil, err
 		}
 		p.Crash()
-		start := time.Now()
-		p2, err := m.StartProcess(proc, cfg)
+		var p2 *phoenix.Process
+		restart, err := e.elapsed(func() error {
+			var err error
+			p2, err = m.StartProcess(proc, cfg)
+			return err
+		})
 		if err != nil {
 			e.Close()
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{"(empty log)", ms(time.Since(start)), "-"})
+		t.Rows = append(t.Rows, []string{"(empty log)", ms(restart), "-"})
 		p2.Close()
 		e.Close()
 	}

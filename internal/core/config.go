@@ -12,6 +12,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -74,12 +75,17 @@ const (
 	LogOptimized
 )
 
-// String names the mode as the paper does.
+// String names the mode as the paper does. Out-of-range values render
+// as a stable "LogMode(<n>)" rather than masquerading as a real mode.
 func (m LogMode) String() string {
-	if m == LogBaseline {
+	switch m {
+	case LogBaseline:
 		return "baseline"
+	case LogOptimized:
+		return "optimized"
+	default:
+		return fmt.Sprintf("LogMode(%d)", int(m))
 	}
-	return "optimized"
 }
 
 // Config are the per-process runtime switches. The zero value is the

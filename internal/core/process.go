@@ -51,9 +51,9 @@ type Process struct {
 	incomingCalls   atomic.Int64 // served incoming calls (checkpoint policy)
 	replayedCalls   atomic.Int64 // calls re-executed by recovery
 	suppressedCalls atomic.Int64 // outgoing sends answered from the log during replay
-	crashed       atomic.Bool
-	recovered     bool
-	listening     atomic.Bool
+	crashed         atomic.Bool
+	recovered       bool
+	listening       atomic.Bool
 
 	// recoveryDone is closed once startup (including any recovery) has
 	// finished; calls that race ahead of context restoration wait on it

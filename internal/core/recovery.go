@@ -142,6 +142,10 @@ func (p *Process) recover() error {
 					ReplyLSN: rec.LSN, Ctx: rc.Ctx,
 				})
 			}
+		default:
+			// Pass 1 only mines restart points and last-call state; the
+			// remaining record types (replies, outgoing sends, checkpoint
+			// brackets) are replay detail that pass 2 consumes.
 		}
 		return nil
 	})
@@ -429,6 +433,10 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, erro
 			}
 			reply := or.Reply
 			get(or.Ctx).replies[or.Seq] = &reply
+		default:
+			// Pass 2 replays buffered incoming calls against their saved
+			// replies; creation, state, and checkpoint records were
+			// consumed by pass 1 and carry nothing to replay.
 		}
 		return nil
 	})

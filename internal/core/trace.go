@@ -45,7 +45,7 @@ const (
 )
 
 // String names the event kind. Unknown values render as a stable
-// "unknown(<n>)" so new kinds never silently stringify wrong.
+// "EventKind(<n>)" so new kinds never silently stringify wrong.
 func (k EventKind) String() string {
 	switch k {
 	case EventCrash:
@@ -65,7 +65,7 @@ func (k EventKind) String() string {
 	case EventReplay:
 		return "replay"
 	default:
-		return fmt.Sprintf("unknown(%d)", int(k))
+		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
 }
 

@@ -128,7 +128,7 @@ func TestEventKindStrings(t *testing.T) {
 	seen := make(map[string]bool)
 	for k := EventKind(0); k < eventKindCount; k++ {
 		s := k.String()
-		if strings.HasPrefix(s, "unknown(") {
+		if strings.HasPrefix(s, "EventKind(") {
 			t.Errorf("kind %d has no name", k)
 		}
 		if seen[s] {
@@ -136,11 +136,25 @@ func TestEventKindStrings(t *testing.T) {
 		}
 		seen[s] = true
 	}
-	if got := EventKind(99).String(); got != "unknown(99)" {
-		t.Errorf("unknown kind String() = %q, want %q", got, "unknown(99)")
+	if got := EventKind(99).String(); got != "EventKind(99)" {
+		t.Errorf("unknown kind String() = %q, want %q", got, "EventKind(99)")
 	}
-	if got := EventKind(-1).String(); got != "unknown(-1)" {
-		t.Errorf("negative kind String() = %q, want %q", got, "unknown(-1)")
+	if got := EventKind(-1).String(); got != "EventKind(-1)" {
+		t.Errorf("negative kind String() = %q, want %q", got, "EventKind(-1)")
+	}
+}
+
+// TestLogModeString pins the sibling stringer's names and its
+// defensive fallback for out-of-range values.
+func TestLogModeString(t *testing.T) {
+	if got := LogBaseline.String(); got != "baseline" {
+		t.Errorf("LogBaseline.String() = %q, want %q", got, "baseline")
+	}
+	if got := LogOptimized.String(); got != "optimized" {
+		t.Errorf("LogOptimized.String() = %q, want %q", got, "optimized")
+	}
+	if got := LogMode(7).String(); got != "LogMode(7)" {
+		t.Errorf("out-of-range LogMode String() = %q, want %q", got, "LogMode(7)")
 	}
 }
 

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Allowlist is the set of deliberate exceptions to the analyzers: a
+// small, commented file instead of suppressions scattered through the
+// code. Each entry names an analyzer and a function (in FuncString
+// spelling) and must carry a trailing "# why" comment — an exception
+// nobody can explain is not an exception.
+//
+// The entries mean different things per analyzer:
+//
+//   - wallclock, locksync: diagnostics inside the named function are
+//     suppressed (the function is a deliberate exception).
+//   - forcesite: the named functions are the *blessed* append/force
+//     sites — the only ones allowed to call into the wal entry points.
+type Allowlist struct {
+	entries map[string]map[string]string // analyzer -> function -> why
+}
+
+//go:embed phoenix-lint.allow
+var defaultAllowSrc []byte
+
+// DefaultAllowlist parses the allowlist compiled into the binary
+// (internal/lint/phoenix-lint.allow).
+func DefaultAllowlist() *Allowlist {
+	a, err := ParseAllowlist("phoenix-lint.allow (embedded)", defaultAllowSrc)
+	if err != nil {
+		// The embedded file is validated by the package's own tests;
+		// reaching this means the binary was built from a broken tree.
+		panic(err)
+	}
+	return a
+}
+
+// LoadAllowlist parses an allowlist file from disk.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseAllowlist(path, src)
+}
+
+// ParseAllowlist parses allowlist source. Lines are
+//
+//	<analyzer> <function>   # why this exception is deliberate
+//
+// Blank lines and full-line # comments are skipped. The function field
+// uses FuncString spelling: pkgpath.Func, or (pkgpath.Recv).Method /
+// (*pkgpath.Recv).Method for methods.
+func ParseAllowlist(name string, src []byte) (*Allowlist, error) {
+	a := &Allowlist{entries: map[string]map[string]string{}}
+	for i, line := range strings.Split(string(src), "\n") {
+		text, why, _ := strings.Cut(line, "#")
+		text = strings.TrimSpace(text)
+		why = strings.TrimSpace(why)
+		if text == "" {
+			continue
+		}
+		analyzer, fn, ok := strings.Cut(text, " ")
+		fn = strings.TrimSpace(fn)
+		if !ok || fn == "" || strings.ContainsAny(fn, " \t") {
+			return nil, fmt.Errorf("%s:%d: want \"<analyzer> <function> # why\", got %q", name, i+1, line)
+		}
+		if why == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry for %s lacks a '# why' comment", name, i+1, fn)
+		}
+		if a.entries[analyzer] == nil {
+			a.entries[analyzer] = map[string]string{}
+		}
+		if _, dup := a.entries[analyzer][fn]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate entry %s %s", name, i+1, analyzer, fn)
+		}
+		a.entries[analyzer][fn] = why
+	}
+	return a, nil
+}
+
+// Allowed reports whether fn is listed for analyzer.
+func (a *Allowlist) Allowed(analyzer, fn string) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a.entries[analyzer][fn]
+	return ok
+}
+
+// Functions returns the functions listed for analyzer, unordered.
+func (a *Allowlist) Functions(analyzer string) []string {
+	if a == nil {
+		return nil
+	}
+	fns := make([]string, 0, len(a.entries[analyzer]))
+	for fn := range a.entries[analyzer] {
+		fns = append(fns, fn)
+	}
+	return fns
+}

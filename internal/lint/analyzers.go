@@ -1,0 +1,54 @@
+package lint
+
+// Analyzers returns the phoenix-lint suite configured for this
+// repository, sharing one allowlist. A nil allow means the embedded
+// default (phoenix-lint.allow). The returned analyzers carry run
+// state (metricnames reconciles declarations against uses at Finish),
+// so build a fresh set per Runner.
+func Analyzers(allow *Allowlist) []*Analyzer {
+	if allow == nil {
+		allow = DefaultAllowlist()
+	}
+	return []*Analyzer{
+		NewForcesite(ForcesiteConfig{}, allow),
+		NewWallclock(WallclockConfig{
+			Packages: []string{
+				"repro/internal/core",
+				"repro/internal/wal",
+				"repro/internal/bench",
+			},
+		}, allow),
+		NewLocksync(LocksyncConfig{}, allow),
+		NewExhaustive(ExhaustiveConfig{}, allow),
+		NewMetricNames(MetricNamesConfig{}, allow),
+	}
+}
+
+// UnitAnalyzers is the per-package subset of the suite for `go vet
+// -vettool` mode, where every package is analyzed in its own process.
+// metricnames is deliberately absent: it reconciles declarations in
+// internal/obs against uses across the whole tree, a view a unit
+// invocation never has — run standalone phoenix-lint (or `make lint`)
+// for the full suite.
+func UnitAnalyzers(allow *Allowlist) []*Analyzer {
+	all := Analyzers(allow)
+	unit := all[:0]
+	for _, a := range all {
+		if a.Name != "metricnames" {
+			unit = append(unit, a)
+		}
+	}
+	return unit
+}
+
+// Check loads the packages matching patterns under dir and runs the
+// full suite with the given allowlist (nil means embedded default).
+// It is the programmatic equivalent of `phoenix-lint <patterns>`.
+func Check(dir string, allow *Allowlist, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{Analyzers: Analyzers(allow)}
+	return r.Run(pkgs)
+}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+const fixturePrefix = "repro/internal/lint/testdata/"
+
+// mustAllow builds a fixture-scoped allowlist.
+func mustAllow(t *testing.T, src string) *lint.Allowlist {
+	t.Helper()
+	a, err := lint.ParseAllowlist("fixture.allow", []byte(src))
+	if err != nil {
+		t.Fatalf("parse fixture allowlist: %v", err)
+	}
+	return a
+}
+
+func TestForcesiteFixture(t *testing.T) {
+	allow := mustAllow(t,
+		"forcesite "+fixturePrefix+"forcesite.blessedAppend # fixture chokepoint\n")
+	linttest.Run(t, "testdata/forcesite", fixturePrefix+"forcesite",
+		[]*lint.Analyzer{lint.NewForcesite(lint.ForcesiteConfig{}, allow)})
+}
+
+func TestWallclockFixture(t *testing.T) {
+	allow := mustAllow(t,
+		"wallclock "+fixturePrefix+"wallclock.instrumented # deliberate wall-time instrumentation\n")
+	linttest.Run(t, "testdata/wallclock", fixturePrefix+"wallclock",
+		[]*lint.Analyzer{lint.NewWallclock(lint.WallclockConfig{
+			Packages: []string{fixturePrefix + "wallclock"},
+		}, allow)})
+}
+
+func TestLocksyncFixture(t *testing.T) {
+	linttest.Run(t, "testdata/locksync", fixturePrefix+"locksync",
+		[]*lint.Analyzer{lint.NewLocksync(lint.LocksyncConfig{
+			Packages: []string{fixturePrefix + "locksync"},
+		}, nil)})
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/exhaustive", fixturePrefix+"exhaustive",
+		[]*lint.Analyzer{lint.NewExhaustive(lint.ExhaustiveConfig{}, nil)})
+}
+
+func TestMetricNamesFixture(t *testing.T) {
+	linttest.Run(t, "testdata/metricnames", fixturePrefix+"metricnames",
+		[]*lint.Analyzer{lint.NewMetricNames(lint.MetricNamesConfig{
+			ObsPath: fixturePrefix + "metricnames",
+		}, nil)})
+}

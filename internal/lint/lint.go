@@ -1,0 +1,190 @@
+// Package lint is phoenix-lint: a family of static analyzers that
+// mechanically enforce the logging, clock and lock disciplines the
+// runtime otherwise maintains by convention (DESIGN.md Section 9).
+//
+// The package deliberately mirrors the shape of golang.org/x/tools'
+// go/analysis — Analyzer, Pass, Diagnostic — but is built on the
+// standard library only: packages are loaded with `go list -export`
+// and type-checked from compiler export data (see load.go), so the
+// checker needs no dependencies beyond the Go toolchain itself.
+//
+// Analyzers:
+//
+//	forcesite   — wal.Log append/force entry points may only be called
+//	              from the blessed accounting chokepoints in core
+//	wallclock   — no direct wall-clock reads in the simulation-clocked
+//	              packages (core, wal, bench) outside the allowlist
+//	locksync    — no device I/O while the wal mutex is held
+//	exhaustive  — switches over runtime enums cover every member or
+//	              carry an explicit default
+//	metricnames — obs metric names at call sites are the names.go
+//	              constants, and every declared name is wired somewhere
+//
+// Deliberate exceptions live in one commented allowlist file
+// (phoenix-lint.allow), not in suppressions scattered through code.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported violation. Position is resolved against
+// the run's shared FileSet so diagnostics from different packages (and
+// from cross-package Finish hooks) sort and print uniformly.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Run is invoked once per package; the
+// optional Finish hook runs after every package of the run has been
+// analyzed, for checks that need whole-repo state (metricnames'
+// orphan detection). Analyzers carrying cross-package state are built
+// fresh per run by their constructor, so a Runner must not be reused.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// Finish, when non-nil, reports diagnostics that could only be
+	// decided after all packages were seen.
+	Finish func(report func(token.Position, string))
+}
+
+// Runner applies a set of analyzers to a set of loaded packages.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// Run analyzes every package with every analyzer, runs the Finish
+// hooks, and returns the diagnostics sorted by position.
+func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+				report:   report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range r.Analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(func(pos token.Position, msg string) {
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: name, Message: msg})
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// FuncString names a function object the way the allowlist file spells
+// functions: "pkgpath.Func" for package functions and
+// "(recvtype).Method" — e.g. "(*repro/internal/wal.Log).syncLocked" —
+// for methods.
+func FuncString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), nil), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// WalkFuncs visits every function declaration of the package, passing
+// its allowlist name. Code inside function literals is attributed to
+// the enclosing declaration — exceptions are granted per named
+// function, never per closure.
+func WalkFuncs(pass *Pass, visit func(decl *ast.FuncDecl, name string)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			visit(fd, FuncString(fn))
+		}
+	}
+}
+
+// Callee resolves the function or method a call expression invokes,
+// or nil for calls through function values, conversions and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleeString is Callee rendered in allowlist spelling, or "".
+func CalleeString(info *types.Info, call *ast.CallExpr) string {
+	fn := Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	return FuncString(fn)
+}

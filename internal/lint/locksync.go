@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LocksyncConfig scopes the locksync analyzer.
+type LocksyncConfig struct {
+	// Packages are the import paths checked (the log manager).
+	Packages []string
+	// Blocking are the call targets (FuncString spelling) that can
+	// block on device I/O or real time. Empty means the wal defaults:
+	// file syncs, the disk model's sync, the group-commit wait, clock
+	// sleeps — plus (*wal.Log).createSegment, which transitively syncs
+	// the fresh segment's header.
+	Blocking []string
+}
+
+var defaultLocksyncBlocking = []string{
+	"(*os.File).Sync",
+	"(repro/internal/disk.Model).Sync",
+	"(*repro/internal/wal.groupCommitter).wait",
+	"(repro/internal/disk.Clock).Sleep",
+	"time.Sleep",
+	"(*repro/internal/wal.Log).createSegment",
+}
+
+// NewLocksync returns the locksync analyzer: no call that can block on
+// device I/O may run while a mutex is held — the PR-2 invariant that
+// keeps Append from ever waiting behind an in-flight force (device
+// syncs run with the log mutex released; see (*wal.Log).syncLocked).
+//
+// The check is lexical and intra-procedural: within each function it
+// replays Lock/Unlock/defer-Unlock calls in source order and flags the
+// configured blocking calls made while a lock is held. A function
+// whose name ends in "Locked" is assumed to be entered with the mutex
+// held (the package's naming convention). Cond.Wait is fine — it
+// releases the mutex. Calls reached indirectly (a helper that syncs,
+// called under the lock) are caught only if the helper is itself in
+// the blocking list.
+func NewLocksync(cfg LocksyncConfig, allow *Allowlist) *Analyzer {
+	blocking := map[string]bool{}
+	names := cfg.Blocking
+	if len(names) == 0 {
+		names = defaultLocksyncBlocking
+	}
+	for _, n := range names {
+		blocking[n] = true
+	}
+	pkgs := map[string]bool{}
+	paths := cfg.Packages
+	if len(paths) == 0 {
+		paths = []string{"repro/internal/wal"}
+	}
+	for _, p := range paths {
+		pkgs[p] = true
+	}
+	return &Analyzer{
+		Name: "locksync",
+		Doc:  "no device I/O while the log mutex is held (syncs run with the mutex released)",
+		Run: func(pass *Pass) error {
+			if !pkgs[pass.Pkg.Path()] {
+				return nil
+			}
+			WalkFuncs(pass, func(decl *ast.FuncDecl, fname string) {
+				if allow.Allowed("locksync", fname) || decl.Body == nil {
+					return
+				}
+				// deferred marks calls that appear directly under a
+				// defer statement: `defer mu.Unlock()` holds the lock
+				// for the rest of the function, so it counts as a
+				// lock-acquire for the lexical replay.
+				deferred := map[*ast.CallExpr]bool{}
+				held := strings.HasSuffix(decl.Name.Name, "Locked")
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					if d, ok := n.(*ast.DeferStmt); ok {
+						deferred[d.Call] = true
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := CalleeString(pass.Info, call)
+					switch {
+					case isLockAcquire(callee):
+						held = true
+					case isLockRelease(callee):
+						if deferred[call] {
+							held = true // held until return
+						} else {
+							held = false
+						}
+					case blocking[callee] && held:
+						pass.Reportf(call.Pos(),
+							"%s can block on device I/O while the mutex is held in %s; release the mutex around the sync (see (*wal.Log).syncLocked) or allowlist %s in phoenix-lint.allow",
+							callee, fname, fname)
+					}
+					return true
+				})
+			})
+			return nil
+		},
+	}
+}
+
+func isLockAcquire(callee string) bool {
+	switch callee {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return true
+	}
+	return false
+}
+
+func isLockRelease(callee string) bool {
+	switch callee {
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the meta-test: the full phoenix-lint suite with
+// the embedded allowlist must produce zero diagnostics over the real
+// tree. Any new violation — a stray time.Now in a simulated package, a
+// force call outside the blessed chokepoints, a switch that forgets a
+// new record type — fails this test before it fails CI.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := lint.Check("../..", nil, "./...")
+	if err != nil {
+		t.Fatalf("phoenix-lint over the repo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Log("fix the violation or record a '# why'-commented exception in internal/lint/phoenix-lint.allow")
+	}
+}
+
+// TestDefaultAllowlist pins the embedded allowlist to the analyzers it
+// configures: every entry must name a known analyzer, so a typo'd
+// entry cannot silently allow nothing.
+func TestDefaultAllowlist(t *testing.T) {
+	allow := lint.DefaultAllowlist()
+	known := map[string]bool{}
+	for _, a := range lint.Analyzers(nil) {
+		known[a.Name] = true
+	}
+	for name := range known {
+		for _, fn := range allow.Functions(name) {
+			if fn == "" {
+				t.Errorf("empty function entry for analyzer %s", name)
+			}
+		}
+	}
+	if len(allow.Functions("forcesite")) == 0 {
+		t.Error("embedded allowlist blesses no forcesite chokepoints; the analyzer would flag every append")
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture for the exhaustive analyzer: switches over local enum types
+// (integer and string), with and without full coverage, defaults and
+// a bound sentinel.
+package exhaustive
+
+import "fmt"
+
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+
+	kindCount // bound sentinel: never required in switches
+)
+
+func good(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+func goodDefault(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func bad(k Kind) string {
+	switch k { // want `switch over repro/internal/lint/testdata/exhaustive\.Kind is missing cases KindB, KindC and has no default`
+	case KindA:
+		return "a"
+	}
+	return ""
+}
+
+type mode string
+
+const (
+	modeOn  mode = "on"
+	modeOff mode = "off"
+)
+
+func badString(m mode) bool {
+	switch m { // want `switch over .*\.mode is missing cases modeOff and has no default`
+	case modeOn:
+		return true
+	}
+	return false
+}
+
+// plain built-in types are not enums; nothing to flag.
+func notEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// untagged switches are ordinary conditionals; nothing to flag.
+func untagged(k Kind) bool {
+	switch {
+	case k == KindA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// Fixture for the locksync analyzer: device syncs and sleeps under a
+// held mutex, the release-around-the-sync pattern, and the *Locked
+// naming convention.
+package locksync
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (s *store) badHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while the mutex is held in .*badHeld`
+}
+
+func (s *store) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep can block on device I/O while the mutex is held`
+	s.mu.Unlock()
+}
+
+// flushLocked follows the *Locked convention: entered with the mutex
+// held, so the sync is flagged even without a visible Lock.
+func (s *store) flushLocked() error {
+	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while the mutex is held in .*flushLocked`
+}
+
+// syncLocked releases the mutex around the device sync — the pattern
+// (*wal.Log).syncLocked establishes — so nothing is flagged.
+func (s *store) syncLocked() error {
+	s.mu.Unlock()
+	err := s.f.Sync()
+	s.mu.Lock()
+	return err
+}
+
+func (s *store) goodReleased() error {
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	return f.Sync()
+}
+
+// unguarded code may sync freely.
+func flush(f *os.File) error {
+	return f.Sync()
+}

@@ -1,0 +1,25 @@
+// Fixture for the metricnames analyzer: the fixture package stands in
+// for internal/obs — it declares the Registry-like resolver and the
+// names.go constants — and uses them well and badly.
+package metricnames
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int   { return nil }
+func (r *Registry) Histogram(name string) *int { return nil }
+
+// localAlias is a metric-name constant declared outside names.go.
+const localAlias = "fix.undeclared"
+
+func use(r *Registry) {
+	r.Counter(MetricGood)       // ok: the declared constant
+	r.Histogram(MetricViaConst) // ok
+	r.Counter("fix.good")       // want `use the constant MetricGood from .* instead of the literal "fix\.good"`
+	r.Counter("fix.rogue")      // want `metric name "fix\.rogue" is not declared in`
+	r.Counter(localAlias)       // want `constant metricnames\.localAlias \("fix\.undeclared"\) is used as a metric name but not declared in`
+}
+
+// dynamic names cannot be checked statically; nothing to flag.
+func dynamic(r *Registry, name string) *int {
+	return r.Counter(name)
+}

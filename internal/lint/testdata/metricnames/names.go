@@ -1,0 +1,9 @@
+// Fixture names file for the metricnames analyzer: the canonical
+// metric-name constants, including one orphan nobody resolves.
+package metricnames
+
+const (
+	MetricGood     = "fix.good"
+	MetricViaConst = "fix.via_const"
+	MetricOrphan   = "fix.orphan" // want `metric name constant MetricOrphan \("fix\.orphan"\) is declared in names\.go but never resolved`
+)

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// VetConfig is the package description `go vet -vettool` hands the
+// tool: one JSON .cfg file per package, with the import graph already
+// resolved to export-data files in the build cache. Only the fields
+// phoenix-lint consumes are decoded.
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	// ImportMap maps import paths as spelled in the source to canonical
+	// package paths; PackageFile maps canonical paths to export data.
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly marks a facts-only invocation for a dependency: go vet
+	// wants the tool's fact file (phoenix-lint keeps none) and no
+	// diagnostics.
+	VetxOnly   bool
+	VetxOutput string
+	// SucceedOnTypecheckFailure asks the tool to stay silent on broken
+	// packages — the compiler will report the real error.
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig reads a `go vet` .cfg file.
+func LoadVetConfig(path string) (*VetConfig, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(src, cfg); err != nil {
+		return nil, fmt.Errorf("lint: parse vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// IsTestUnit reports whether the config describes a test variant of a
+// package (in-package test build, external _test package, or the
+// generated test main) rather than the production package.
+func (cfg *VetConfig) IsTestUnit() bool {
+	if cfg.ID != "" && cfg.ID != cfg.ImportPath {
+		return true
+	}
+	if strings.HasSuffix(cfg.ImportPath, "_test") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return true
+	}
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPackage type-checks the vet unit from its config, resolving
+// imports through ImportMap into the export files go vet prepared.
+func (cfg *VetConfig) LoadPackage() (*Package, error) {
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for canon, file := range cfg.PackageFile {
+		exports[canon] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+	return newLoader(exports).check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+}
