@@ -1,6 +1,6 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress bench
+.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress bench bench-smoke
 
 ci: vet lint build test race stress recovery-stress
 
@@ -48,3 +48,11 @@ recovery-stress:
 
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30
+
+# Quick allocation-focused microbenchmarks of the message/WAL hot path
+# (encode/decode envelopes, wal append, cursor scans), one iteration
+# batch each, plus the AllocsPerRun regression gates. This is the
+# perf-regression smoke CI runs; BENCH_PR5.json holds the trajectory.
+bench-smoke:
+	go test -run '^$$' -bench 'Encode|Decode|WALAppend|Cursor|Scan' -benchmem -benchtime 100x ./internal/msg/ ./internal/wal/
+	go test -run 'TestAllocs' -v ./internal/core/

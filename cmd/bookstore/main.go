@@ -10,7 +10,11 @@
 // With -debug, the runtime metrics registry is served as JSON at
 // http://<addr>/debug/phoenixvars while the program runs — watch the
 // force, interception and recovery counters move as sessions execute
-// or chaos crashes processes.
+// or chaos crashes processes. The same server mounts net/http/pprof
+// under /debug/pprof/, so a live run can be profiled:
+//
+//	go tool pprof http://127.0.0.1:8642/debug/pprof/profile
+//	go tool pprof http://127.0.0.1:8642/debug/pprof/heap
 package main
 
 import (

@@ -11,6 +11,8 @@
 //	phoenix-bench -list                   # show experiment IDs
 //	phoenix-bench -json                   # machine-readable tables + metrics
 //	phoenix-bench -metrics=false          # suppress the per-run metric dump
+//	phoenix-bench -cpuprofile cpu.pb.gz   # CPU profile of the whole run
+//	phoenix-bench -memprofile mem.pb.gz   # heap profile at exit
 //
 // Each experiment also reports the runtime metrics it generated — the
 // obs counter deltas for that run: log appends and forces by site,
@@ -27,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -35,12 +39,23 @@ import (
 // runResult is one experiment's JSON form: the rendered table plus the
 // metric deltas the run produced.
 type runResult struct {
-	ID      string       `json:"id"`
-	Title   string       `json:"title"`
-	Cols    []string     `json:"cols"`
-	Rows    [][]string   `json:"rows"`
-	Notes   []string     `json:"notes,omitempty"`
-	Metrics obs.Snapshot `json:"metrics"`
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+	// AllocsPerOp is the heap allocations the experiment performed per
+	// measured call (runtime.MemStats.Mallocs delta over -calls) — the
+	// perf-trajectory number the allocation-regression gates watch.
+	AllocsPerOp float64      `json:"allocs_per_op"`
+	Metrics     obs.Snapshot `json:"metrics"`
+}
+
+// mallocs reads the process-wide cumulative allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 func main() {
@@ -54,8 +69,38 @@ func main() {
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		jsonOut     = flag.Bool("json", false, "emit tables and metric snapshots as JSON")
 		showMetrics = flag.Bool("metrics", true, "print the metric deltas of each experiment")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "phoenix-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "phoenix-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -88,16 +133,19 @@ func main() {
 		// registry, so their runtime metrics land in the default one;
 		// the snapshot diff isolates this experiment's share.
 		before := obs.Default().Snapshot()
+		mallocsBefore := mallocs()
 		tab, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phoenix-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		allocsPerOp := float64(mallocs()-mallocsBefore) / float64(opts.Calls)
 		delta := obs.Default().Snapshot().Diff(before)
 		if *jsonOut {
 			results = append(results, runResult{
 				ID: tab.ID, Title: tab.Title, Cols: tab.Cols,
-				Rows: tab.Rows, Notes: tab.Notes, Metrics: delta,
+				Rows: tab.Rows, Notes: tab.Notes,
+				AllocsPerOp: allocsPerOp, Metrics: delta,
 			})
 			continue
 		}
@@ -105,7 +153,7 @@ func main() {
 		if *showMetrics && !delta.Empty() {
 			fmt.Printf("%s — runtime metrics for this run\n", tab.ID)
 			delta.WriteText(os.Stdout, "  ")
-			fmt.Println()
+			fmt.Printf("  allocs/op (process-wide, over %d calls): %.0f\n\n", opts.Calls, allocsPerOp)
 		}
 	}
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/rpc"
+)
+
+// Allocation-regression gates for the paper's Figure-1 hot path: the
+// point of this PR's codec work is that the per-call software overhead
+// (envelope encode/decode, record construction, WAL framing) stays
+// gone. The baselines below were measured at the pre-binary-codec
+// commit (gob envelopes, allocating WAL framing) on go1.x/linux; the
+// gates assert the ≥50% reduction the optimization claims, with
+// headroom so toolchain drift does not flake.
+
+// AllocBatcher drives n persistent↔persistent calls per envelope call,
+// so the inner-call allocation cost can be isolated from the external
+// envelope (the same subtraction the bench harness uses for Table 4).
+type AllocBatcher struct {
+	Server *Ref
+	Sum    int
+}
+
+func (b *AllocBatcher) RunBatch(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		res, err := b.Server.Call("Add", 1)
+		if err != nil {
+			return 0, err
+		}
+		b.Sum += res[0].(int)
+	}
+	return b.Sum, nil
+}
+
+// measureCallPathAllocs returns the average heap allocations of one
+// persistent↔persistent call (Table 4 optimized row: client and server
+// both persistent, optimized logging), envelope cost subtracted.
+func measureCallPathAllocs(t *testing.T) float64 {
+	t.Helper()
+	u := newTestUniverse(t)
+	_, ps := startProc(t, u, "evo2", "srv", testConfig())
+	defer ps.Close()
+	_, pc := startProc(t, u, "evo1", "cli", testConfig())
+	defer pc.Close()
+	hs, err := ps.Create("Server", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pc.Create("Batcher", &AllocBatcher{Server: NewRef(hs.URI())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := u.ExternalRef(hb.URI())
+	drive := func(n int) {
+		if _, err := ref.Call("RunBatch", n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(1) // warm up: learn server types, prime pools
+
+	const batch = 100
+	envelope := testing.AllocsPerRun(3, func() { drive(0) })
+	withCalls := testing.AllocsPerRun(3, func() { drive(batch) })
+	per := (withCalls - envelope) / batch
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// measureWALPathAllocs returns the allocations of one appendRec on the
+// incoming-call record path (encode + WAL framing), the log half of
+// the per-call cost.
+func measureWALPathAllocs(t *testing.T) float64 {
+	t.Helper()
+	u := newTestUniverse(t)
+	_, p := startProc(t, u, "evo1", "srv", testConfig())
+	defer p.Close()
+	args, n, err := rpc.EncodeArgs(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &incomingRec{
+		Ctx: 1,
+		Call: msg.Call{
+			ID:         ids.CallID{Caller: ids.ComponentAddr{Machine: "evo1", Proc: 1, Comp: 2}, Seq: 9},
+			Target:     ids.MakeURI("evo1", "srv", "Server"),
+			Method:     "Add",
+			Args:       args,
+			NumArgs:    n,
+			CallerType: msg.Persistent,
+			CallerURI:  ids.MakeURI("evo1", "cli", "Batcher"),
+		},
+	}
+	if _, err := p.appendRec(recIncoming, rec); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(200, func() {
+		if _, err := p.appendRec(recIncoming, rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocsCallPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow under -short")
+	}
+	// Pre-PR baseline (gob envelope + allocating WAL framing):
+	// ~947 allocs per persistent↔persistent optimized call.
+	const prePR = 947.0
+	got := measureCallPathAllocs(t)
+	t.Logf("persistent↔persistent call path: %.1f allocs/call (pre-PR %.1f)", got, prePR)
+	if got > prePR/2 {
+		t.Errorf("call path allocates %.1f/call; gate is ≤ %.1f (50%% of pre-PR %.1f)",
+			got, prePR/2, prePR)
+	}
+}
+
+func TestAllocsAppendRec(t *testing.T) {
+	// Pre-PR baseline: ~27 allocs per incoming-record append (gob
+	// encoder + buffer + WAL frame + crc copy).
+	const prePR = 27.0
+	got := measureWALPathAllocs(t)
+	t.Logf("appendRec(incoming): %.1f allocs/record (pre-PR %.1f)", got, prePR)
+	if got > prePR/2 {
+		t.Errorf("appendRec allocates %.1f/record; gate is ≤ %.1f (50%% of pre-PR %.1f)",
+			got, prePR/2, prePR)
+	}
+}

@@ -472,13 +472,13 @@ func (p *Process) reclaimPoint() ids.LSN {
 
 // appendRec encodes and appends a typed record, accounting it to the
 // per-kind record counters (the paper's message kinds 1-4 plus the
-// creation/state/checkpoint records).
+// creation/state/checkpoint records). Hot records encode straight into
+// the log's scratch buffer (wal.AppendInto + the binary payload codec),
+// so the per-call append allocates nothing.
 func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
-	payload, err := encodeRec(v)
-	if err != nil {
-		return ids.NilLSN, err
-	}
-	lsn, err := p.log.Append(t, payload)
+	lsn, err := p.log.AppendInto(t, func(dst []byte) ([]byte, error) {
+		return appendRecInto(dst, t, v)
+	})
 	if err == nil {
 		p.recCounter(t).Inc()
 	}

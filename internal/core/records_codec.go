@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Binary payload codec for the per-call log records. The five record
+// kinds written on the Figure-1 hot paths — incoming, reply-sent,
+// reply-content, outgoing, outgoing-reply — are appended once per
+// message, so their payloads use the hand-rolled binary format of
+// internal/msg instead of gob (a fresh gob stream per record re-emits
+// type descriptors every time). Cold records — creation, context
+// state, checkpoint dumps — stay gob: they are rare, nested, and not
+// worth a hand-maintained schema.
+//
+// Format (DESIGN.md Section 10): 0xC3, kind byte (the wal.RecordType,
+// doubling as a schema check against the frame's type), then the
+// per-kind fields in the order of the struct definitions in
+// records.go, encoded with the msg codec primitives (uvarints,
+// length-prefixed bytes). Embedded Call/Reply bodies use the bare
+// envelope bodies (msg.AppendCall / msg.AppendReply — no 0xC1/0xC2).
+//
+// 0xC3 lives in the 0x80..0xF7 range no gob stream can start with, so
+// decodeRec falls back to gob on any other first byte and logs written
+// before this codec replay unchanged (the mixed-format recovery test
+// proves it).
+
+// recBinVer is the version byte opening a binary record payload.
+const recBinVer = 0xC3
+
+// legacyRecEncoding is a test hook: when true, appendRecInto writes
+// every record payload in the legacy gob format, so tests can produce
+// old-format logs with the current runtime and prove mixed-format
+// recovery.
+var legacyRecEncoding = false
+
+// recCodecMetrics counts record-payload codec activity on the default
+// registry (the per-process registries track record kinds; the codec
+// split is global).
+var recCodecMetrics = obs.CodecView(obs.Default())
+
+// appendRecInto appends the encoded payload of v (a record struct
+// pointer, as passed to appendRec) for record type t onto dst. Hot
+// record kinds get the binary format; anything else falls back to gob.
+func appendRecInto(dst []byte, t wal.RecordType, v any) ([]byte, error) {
+	if !legacyRecEncoding {
+		switch r := v.(type) {
+		case *incomingRec:
+			dst = append(dst, recBinVer, byte(t))
+			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
+			return msg.AppendCall(dst, &r.Call), nil
+		case *replySentRec:
+			dst = append(dst, recBinVer, byte(t))
+			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
+			return appendCallID(dst, r.CallID), nil
+		case *replyContentRec:
+			dst = append(dst, recBinVer, byte(t))
+			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
+			dst = appendCallID(dst, r.CallID)
+			return msg.AppendReply(dst, &r.Reply), nil
+		case *outgoingRec:
+			dst = append(dst, recBinVer, byte(t))
+			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
+			return msg.AppendCall(dst, &r.Call), nil
+		case *outgoingReplyRec:
+			dst = append(dst, recBinVer, byte(t))
+			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
+			dst = msg.AppendUvarint(dst, r.Seq)
+			return msg.AppendReply(dst, &r.Reply), nil
+		}
+	}
+	b, err := encodeRec(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
+func appendCallID(dst []byte, id ids.CallID) []byte {
+	dst = msg.AppendString(dst, id.Caller.Machine)
+	dst = msg.AppendUvarint(dst, uint64(id.Caller.Proc))
+	dst = msg.AppendUvarint(dst, uint64(id.Caller.Comp))
+	return msg.AppendUvarint(dst, id.Seq)
+}
+
+func consumeCallID(data []byte, id *ids.CallID) ([]byte, error) {
+	var err error
+	var u uint64
+	if id.Caller.Machine, data, err = msg.ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = msg.ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	id.Caller.Proc = ids.ProcID(u)
+	if u, data, err = msg.ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	id.Caller.Comp = ids.CompID(u)
+	id.Seq, data, err = msg.ConsumeUvarint(data)
+	return data, err
+}
+
+// decodeRecBinary decodes a 0xC3 payload into v, verifying the kind
+// byte matches the record struct the caller expects (the frame type
+// routed the caller here, so a mismatch means a corrupt or mislabeled
+// record, not a version issue).
+func decodeRecBinary(data []byte, v any) error {
+	kind := wal.RecordType(data[1])
+	body := data[2:]
+	var u uint64
+	var err error
+	if u, body, err = msg.ConsumeUvarint(body); err != nil {
+		return fmt.Errorf("core: decode %T: %w", v, err)
+	}
+	ctx := ids.CompID(u)
+	want := wal.RecordType(0)
+	switch r := v.(type) {
+	case *incomingRec:
+		want = recIncoming
+		r.Ctx = ctx
+		body, err = msg.ConsumeCall(body, &r.Call)
+	case *replySentRec:
+		want = recReplySent
+		r.Ctx = ctx
+		body, err = consumeCallID(body, &r.CallID)
+	case *replyContentRec:
+		want = recReplyContent
+		r.Ctx = ctx
+		if body, err = consumeCallID(body, &r.CallID); err == nil {
+			body, err = msg.ConsumeReply(body, &r.Reply)
+		}
+	case *outgoingRec:
+		want = recOutgoing
+		r.Ctx = ctx
+		body, err = msg.ConsumeCall(body, &r.Call)
+	case *outgoingReplyRec:
+		want = recOutgoingReply
+		r.Ctx = ctx
+		if r.Seq, body, err = msg.ConsumeUvarint(body); err == nil {
+			body, err = msg.ConsumeReply(body, &r.Reply)
+		}
+	default:
+		return fmt.Errorf("core: decode %T: binary payload for a gob-only record", v)
+	}
+	if err != nil {
+		return fmt.Errorf("core: decode %T: %w", v, err)
+	}
+	if kind != want {
+		return fmt.Errorf("core: decode %T: payload kind %s, want %s", v, recName(kind), recName(want))
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("core: decode %T: %d trailing bytes", v, len(body))
+	}
+	return nil
+}
+
+// hotRecord reports whether v is one of the record kinds the binary
+// codec covers (used to classify gob payloads as legacy).
+func hotRecord(v any) bool {
+	switch v.(type) {
+	case *incomingRec, *replySentRec, *replyContentRec, *outgoingRec, *outgoingReplyRec:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// hotRecCases pairs each hot record kind with a representative value.
+var hotRecCases = []struct {
+	t wal.RecordType
+	v any
+}{
+	{recIncoming, &incomingRec{Ctx: 3, Call: msg.Call{
+		ID:     ids.CallID{Caller: ids.ComponentAddr{Machine: "evo1", Proc: 2, Comp: 5}, Seq: 9},
+		Target: "phoenix://evo2/srv/Server", Method: "Add",
+		Args: []byte{1, 2, 3}, NumArgs: 1,
+		CallerType: msg.Persistent, CallerURI: "phoenix://evo1/cli/B",
+		ReadOnly: false, KnowsServer: true,
+	}}},
+	{recReplySent, &replySentRec{Ctx: 4, CallID: ids.CallID{
+		Caller: ids.ComponentAddr{Machine: "m", Proc: 1, Comp: 1}, Seq: 100}}},
+	{recReplyContent, &replyContentRec{Ctx: 5,
+		CallID: ids.CallID{Caller: ids.ComponentAddr{Machine: "m"}, Seq: 2},
+		Reply: msg.Reply{Results: []byte{7}, NumResults: 1, AppErr: "e",
+			HasAttachment: true, ServerType: msg.Persistent}}},
+	{recOutgoing, &outgoingRec{Ctx: 6, Call: msg.Call{Method: "M", NumArgs: 0}}},
+	{recOutgoingReply, &outgoingReplyRec{Ctx: 7, Seq: 41,
+		Reply: msg.Reply{Fault: "gone", MethodReadOnly: true}}},
+}
+
+// TestRecordCodecRoundTrip: every hot record kind must round-trip
+// through the binary payload codec, and the legacy gob payload of the
+// same value must decode to the identical struct (format parity).
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, tc := range hotRecCases {
+		name := recName(tc.t)
+		bin, err := appendRecInto(nil, tc.t, tc.v)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if bin[0] != recBinVer || bin[1] != byte(tc.t) {
+			t.Fatalf("%s: header % x, want %#x %#x", name, bin[:2], recBinVer, byte(tc.t))
+		}
+		legacy, err := encodeRec(tc.v)
+		if err != nil {
+			t.Fatalf("%s: gob encode: %v", name, err)
+		}
+
+		fromBin := reflect.New(reflect.TypeOf(tc.v).Elem()).Interface()
+		if err := decodeRec(bin, fromBin); err != nil {
+			t.Fatalf("%s: decode binary: %v", name, err)
+		}
+		fromGob := reflect.New(reflect.TypeOf(tc.v).Elem()).Interface()
+		if err := decodeRec(legacy, fromGob); err != nil {
+			t.Fatalf("%s: decode legacy: %v", name, err)
+		}
+		if !recEqual(fromBin, tc.v) {
+			t.Errorf("%s: binary round trip mismatch:\n  got  %+v\n  want %+v", name, fromBin, tc.v)
+		}
+		if !recEqual(fromBin, fromGob) {
+			t.Errorf("%s: binary and legacy decodes differ:\n  bin %+v\n  gob %+v", name, fromBin, fromGob)
+		}
+	}
+}
+
+// recEqual is reflect.DeepEqual modulo the nil-versus-empty byte slice
+// distinction, which neither codec preserves.
+func recEqual(a, b any) bool {
+	norm := func(v any) any {
+		switch r := v.(type) {
+		case *incomingRec:
+			c := *r
+			c.Call.Args = append([]byte{}, c.Call.Args...)
+			return &c
+		case *outgoingRec:
+			c := *r
+			c.Call.Args = append([]byte{}, c.Call.Args...)
+			return &c
+		case *replyContentRec:
+			c := *r
+			c.Reply.Results = append([]byte{}, c.Reply.Results...)
+			return &c
+		case *outgoingReplyRec:
+			c := *r
+			c.Reply.Results = append([]byte{}, c.Reply.Results...)
+			return &c
+		}
+		return v
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+// TestRecordCodecKindMismatch: a binary payload whose kind byte does
+// not match the struct the frame type selected must be rejected.
+func TestRecordCodecKindMismatch(t *testing.T) {
+	bin, err := appendRecInto(nil, recIncoming, &incomingRec{Ctx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs replySentRec
+	if err := decodeRec(bin, &rs); err == nil {
+		t.Fatal("incoming payload decoded into replySentRec")
+	}
+}
+
+// TestMixedFormatRecovery: a log whose prefix was written by the
+// legacy gob record codec and whose tail is binary must recover
+// exactly — the upgrade scenario for logs that predate this codec.
+func TestMixedFormatRecovery(t *testing.T) {
+	for _, mode := range []LogMode{LogBaseline, LogOptimized} {
+		u := newTestUniverse(t)
+		cfg := testConfig()
+		cfg.LogMode = mode
+		m, p := startProc(t, u, "evo1", "srv", cfg)
+		h, err := p.Create("Counter", &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := u.ExternalRef(h.URI())
+
+		// Phase 1: records in the legacy gob format (the pre-codec log).
+		legacyRecEncoding = true
+		for i := 0; i < 5; i++ {
+			callInt(t, ref, "Add", 2)
+		}
+		// Phase 2: the binary format, appended to the same log.
+		legacyRecEncoding = false
+		for i := 0; i < 3; i++ {
+			callInt(t, ref, "Add", 3)
+		}
+		p.Crash()
+
+		before := obs.Default().Counter(obs.CodecLegacyDecodes).Load()
+		p2, err := m.StartProcess("srv", cfg)
+		if err != nil {
+			t.Fatalf("%v: restart: %v", mode, err)
+		}
+		if !p2.Recovered() {
+			t.Errorf("%v: restarted process did not recover", mode)
+		}
+		if got := callInt(t, ref, "Get"); got != 19 {
+			t.Errorf("%v: recovered counter = %d, want 19", mode, got)
+		}
+		if got := callInt(t, ref, "Add", 1); got != 20 {
+			t.Errorf("%v: post-recovery Add -> %d, want 20", mode, got)
+		}
+		if after := obs.Default().Counter(obs.CodecLegacyDecodes).Load(); after <= before {
+			t.Errorf("%v: recovery of a mixed log did not count any legacy decodes", mode)
+		}
+		p2.Close()
+	}
+}
+
+// TestMixedFormatRecoveryCrossProcess runs the upgrade scenario across
+// two processes, so outgoing-call and outgoing-reply records (messages
+// 3-4) cross the format boundary too, then crashes the CLIENT — replay
+// must consume legacy and binary outgoing-reply records alike.
+func TestMixedFormatRecoveryCrossProcess(t *testing.T) {
+	for _, mode := range []LogMode{LogBaseline, LogOptimized} {
+		u := newTestUniverse(t)
+		cfg := testConfig()
+		cfg.LogMode = mode
+		_, ps := startProc(t, u, "evo2", "srv", cfg)
+		mc, pc := startProc(t, u, "evo1", "cli", cfg)
+		hs, err := ps.Create("Server", &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := pc.Create("Batcher", &AllocBatcher{Server: NewRef(hs.URI())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := u.ExternalRef(hb.URI())
+
+		// Counter.Add returns the running total, so the batcher's sum
+		// after n calls is 1+2+…+n of the server's counter values.
+		legacyRecEncoding = true
+		if got := callInt(t, ref, "RunBatch", 4); got != 10 {
+			t.Fatalf("%v: legacy batch sum = %d, want 10", mode, got)
+		}
+		legacyRecEncoding = false
+		if got := callInt(t, ref, "RunBatch", 3); got != 28 {
+			t.Fatalf("%v: binary batch sum = %d, want 28", mode, got)
+		}
+		pc.Crash()
+
+		pc2, err := mc.StartProcess("cli", cfg)
+		if err != nil {
+			t.Fatalf("%v: restart: %v", mode, err)
+		}
+		if !pc2.Recovered() {
+			t.Errorf("%v: restarted client did not recover", mode)
+		}
+		if got := callInt(t, ref, "RunBatch", 1); got != 36 {
+			t.Errorf("%v: post-recovery batch sum = %d, want 36", mode, got)
+		}
+		pc2.Close()
+		ps.Close()
+	}
+}

@@ -289,6 +289,10 @@ func (u *Universe) send(call *msg.Call, retries int, interval time.Duration,
 	if err != nil {
 		return nil, err
 	}
+	// The encoded call is pooled: every transport path hands the bytes
+	// over synchronously (handlers must not retain request buffers), so
+	// the buffer is free once the retry loop is done with it.
+	defer msg.FreeBuf(data)
 	u.rpcm.RPCCalls.Inc()
 	start := time.Now()
 	defer func() { u.rpcm.RPCCallMicros.Observe(time.Since(start).Microseconds()) }()

@@ -19,6 +19,7 @@ type ForcesiteConfig struct {
 
 var defaultForcesiteGuarded = []string{
 	"(*repro/internal/wal.Log).Append",
+	"(*repro/internal/wal.Log).AppendInto",
 	"(*repro/internal/wal.Log).Force",
 	"(*repro/internal/wal.Log).ForceTo",
 	"(*repro/internal/wal.Log).SyncTo",

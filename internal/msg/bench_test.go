@@ -1,0 +1,96 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// benchCall is a representative Figure-1 message: a persistent client
+// calling a persistent server with a realistic argument stream (the
+// size EncodeAnySlice produces for a one-int argument list).
+func benchCall() *Call {
+	args, _ := EncodeAnySlice([]any{42})
+	return &Call{
+		ID: ids.CallID{
+			Caller: ids.ComponentAddr{Machine: "evo1", Proc: 2, Comp: 3},
+			Seq:    17,
+		},
+		Target:     ids.MakeURI("evo2", "shop", "Store"),
+		Method:     "Search",
+		Args:       args,
+		NumArgs:    1,
+		CallerType: Persistent,
+		CallerURI:  ids.MakeURI("evo1", "buyer", "Buyer"),
+	}
+}
+
+func benchReply() *Reply {
+	results, _ := EncodeAnySlice([]any{42})
+	return &Reply{
+		ID: ids.CallID{
+			Caller: ids.ComponentAddr{Machine: "evo1", Proc: 2, Comp: 3},
+			Seq:    17,
+		},
+		Results:       results,
+		NumResults:    1,
+		HasAttachment: true,
+		ServerType:    Persistent,
+	}
+}
+
+func BenchmarkEncodeCall(b *testing.B) {
+	c := benchCall()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeCall(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		FreeBuf(data)
+	}
+}
+
+func BenchmarkDecodeCall(b *testing.B) {
+	c := benchCall()
+	data, err := EncodeCall(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCall(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeReply(b *testing.B) {
+	r := benchReply()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeReply(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		FreeBuf(data)
+	}
+}
+
+func BenchmarkDecodeReply(b *testing.B) {
+	r := benchReply()
+	data, err := EncodeReply(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeReply(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Binary envelope codec for Call and Reply.
+//
+// The gob envelope this replaces re-emits its type descriptors on every
+// message (each message is a fresh gob stream, so nothing amortizes)
+// and walks both structs reflectively; that cost shows up on all four
+// Figure-1 message paths. The envelope fields are a fixed, closed set,
+// so they are encoded by hand: varints for integers, length-prefixed
+// raw bytes for strings and byte slices, one flag byte for the bools.
+// Only the user argument/result values inside Args and Results remain
+// gob (see EncodeValues) — their types are open.
+//
+// Format (DESIGN.md Section 10). All integers are unsigned varints
+// (encoding/binary uvarint); "bytes" means uvarint length + raw bytes.
+//
+//	Call  = 0xC1 body;  Reply = 0xC2 body (version byte only at the
+//	outermost envelope — embedded copies inside log records use the
+//	bare body via AppendCall/ConsumeCall).
+//
+//	Call body:  Machine bytes, Proc, Comp, Seq, Target bytes,
+//	            Method bytes, Args bytes, NumArgs, CallerType byte,
+//	            CallerURI bytes, flags byte (bit0 ReadOnly,
+//	            bit1 KnowsServer)
+//	Reply body: Machine bytes, Proc, Comp, Seq, Results bytes,
+//	            NumResults, AppErr bytes, Fault bytes, flags byte
+//	            (bit0 HasAttachment, bit1 MethodReadOnly),
+//	            ServerType byte
+//
+// The version bytes live in 0x80..0xF7, a range no gob stream can
+// start with (gob streams open with a uvarint byte count: either a
+// small literal < 0x80 or a negated length marker 0xF8..0xFF), so
+// DecodeCall/DecodeReply fall back to gob on any other first byte and
+// old peers and old logs keep decoding.
+package msg
+
+import "errors"
+
+const (
+	// verCall and verReply are the envelope version bytes. They must
+	// stay within 0x80..0xF7 (see package comment) so gob fallback
+	// detection stays sound.
+	verCall  = 0xC1
+	verReply = 0xC2
+)
+
+// errShort reports a truncated or corrupt binary envelope.
+var errShort = errors.New("msg: short binary envelope")
+
+// AppendUvarint appends v as an unsigned varint. Hand-rolled rather
+// than binary.AppendUvarint so the loop inlines into the appenders.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a uvarint length prefix followed by s.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ConsumeUvarint consumes a uvarint from data.
+func ConsumeUvarint(data []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		if b < 0x80 {
+			if i > 9 || (i == 9 && b > 1) {
+				return 0, nil, errors.New("msg: varint overflows uint64")
+			}
+			return v | uint64(b)<<(7*i), data[i+1:], nil
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+	}
+	return 0, nil, errShort
+}
+
+// ConsumeBytes consumes a length-prefixed byte field and returns a COPY.
+// Decoded envelopes must not alias the input: transport reads and WAL
+// cursors reuse their buffers, and core retains decoded records across
+// replay (DESIGN.md Section 10 ownership rules).
+func ConsumeBytes(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, errShort
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	out := make([]byte, n)
+	copy(out, rest[:n])
+	return out, rest[n:], nil
+}
+
+// ConsumeString consumes a length-prefixed string field (string(…) makes
+// the copy).
+func ConsumeString(data []byte) (string, []byte, error) {
+	n, rest, err := ConsumeUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, errShort
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// ConsumeByte consumes one raw byte.
+func ConsumeByte(data []byte) (byte, []byte, error) {
+	if len(data) < 1 {
+		return 0, nil, errShort
+	}
+	return data[0], data[1:], nil
+}

@@ -1,0 +1,147 @@
+package msg
+
+import "repro/internal/ids"
+
+// AppendCall appends the bare binary body of c (no version byte) to
+// dst and returns the extended slice. Core's log records use it to
+// embed calls inside their own framed payloads.
+func AppendCall(dst []byte, c *Call) []byte {
+	dst = AppendString(dst, c.ID.Caller.Machine)
+	dst = AppendUvarint(dst, uint64(c.ID.Caller.Proc))
+	dst = AppendUvarint(dst, uint64(c.ID.Caller.Comp))
+	dst = AppendUvarint(dst, c.ID.Seq)
+	dst = AppendString(dst, string(c.Target))
+	dst = AppendString(dst, c.Method)
+	dst = AppendBytes(dst, c.Args)
+	dst = AppendUvarint(dst, uint64(c.NumArgs))
+	dst = append(dst, byte(c.CallerType))
+	dst = AppendString(dst, string(c.CallerURI))
+	var flags byte
+	if c.ReadOnly {
+		flags |= 1
+	}
+	if c.KnowsServer {
+		flags |= 2
+	}
+	return append(dst, flags)
+}
+
+// ConsumeCall decodes a bare Call body from data into c and returns
+// the unconsumed tail. All byte and string fields are copies; c never
+// aliases data.
+func ConsumeCall(data []byte, c *Call) ([]byte, error) {
+	var err error
+	var u uint64
+	if c.ID.Caller.Machine, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	c.ID.Caller.Proc = ids.ProcID(u)
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	c.ID.Caller.Comp = ids.CompID(u)
+	if c.ID.Seq, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	var s string
+	if s, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	c.Target = ids.URI(s)
+	if c.Method, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if c.Args, data, err = ConsumeBytes(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	c.NumArgs = int(u)
+	var b byte
+	if b, data, err = ConsumeByte(data); err != nil {
+		return nil, err
+	}
+	c.CallerType = ComponentType(b)
+	if s, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	c.CallerURI = ids.URI(s)
+	if b, data, err = ConsumeByte(data); err != nil {
+		return nil, err
+	}
+	c.ReadOnly = b&1 != 0
+	c.KnowsServer = b&2 != 0
+	return data, nil
+}
+
+// AppendReply appends the bare binary body of r (no version byte) to
+// dst and returns the extended slice.
+func AppendReply(dst []byte, r *Reply) []byte {
+	dst = AppendString(dst, r.ID.Caller.Machine)
+	dst = AppendUvarint(dst, uint64(r.ID.Caller.Proc))
+	dst = AppendUvarint(dst, uint64(r.ID.Caller.Comp))
+	dst = AppendUvarint(dst, r.ID.Seq)
+	dst = AppendBytes(dst, r.Results)
+	dst = AppendUvarint(dst, uint64(r.NumResults))
+	dst = AppendString(dst, r.AppErr)
+	dst = AppendString(dst, r.Fault)
+	var flags byte
+	if r.HasAttachment {
+		flags |= 1
+	}
+	if r.MethodReadOnly {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	return append(dst, byte(r.ServerType))
+}
+
+// ConsumeReply decodes a bare Reply body from data into r and returns
+// the unconsumed tail. All byte and string fields are copies; r never
+// aliases data.
+func ConsumeReply(data []byte, r *Reply) ([]byte, error) {
+	var err error
+	var u uint64
+	if r.ID.Caller.Machine, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	r.ID.Caller.Proc = ids.ProcID(u)
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	r.ID.Caller.Comp = ids.CompID(u)
+	if r.ID.Seq, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	if r.Results, data, err = ConsumeBytes(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	r.NumResults = int(u)
+	if r.AppErr, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if r.Fault, data, err = ConsumeString(data); err != nil {
+		return nil, err
+	}
+	var b byte
+	if b, data, err = ConsumeByte(data); err != nil {
+		return nil, err
+	}
+	r.HasAttachment = b&1 != 0
+	r.MethodReadOnly = b&2 != 0
+	if b, data, err = ConsumeByte(data); err != nil {
+		return nil, err
+	}
+	r.ServerType = ComponentType(b)
+	return data, nil
+}

@@ -1,0 +1,230 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+var codecCalls = []Call{
+	{},
+	{
+		ID:     ids.CallID{Caller: ids.ComponentAddr{Machine: "evo1", Proc: 7, Comp: 42}, Seq: 1 << 40},
+		Target: "phoenix://evo2/srv/Server", Method: "Add",
+		Args: []byte{0x03, 0x04, 0x00, 0x0e}, NumArgs: 2,
+		CallerType: Persistent, CallerURI: "phoenix://evo1/cli/Batcher",
+		ReadOnly: true, KnowsServer: true,
+	},
+	{
+		ID:     ids.CallID{Seq: 0xffffffffffffffff},
+		Method: string(make([]byte, 300)), // multi-byte varint length
+		Args:   make([]byte, 1000),
+	},
+}
+
+var codecReplies = []Reply{
+	{},
+	{
+		ID:      ids.CallID{Caller: ids.ComponentAddr{Machine: "evo2", Proc: 3, Comp: 9}, Seq: 77},
+		Results: []byte{9, 9, 9}, NumResults: 1,
+		AppErr: "boom", Fault: "no such method",
+		HasAttachment: true, ServerType: ReadOnly, MethodReadOnly: true,
+	},
+}
+
+// TestCallCodecGobParity: the binary envelope and the legacy gob
+// envelope must decode to identical structs, and DecodeCall must
+// accept both formats (the version-byte fallback that keeps old logs
+// and mixed-version peers working).
+func TestCallCodecGobParity(t *testing.T) {
+	for i, want := range codecCalls {
+		bin, err := EncodeCall(&want)
+		if err != nil {
+			t.Fatalf("call %d: encode: %v", i, err)
+		}
+		if bin[0] != verCall {
+			t.Fatalf("call %d: version byte %#x, want %#x", i, bin[0], verCall)
+		}
+		legacy, err := encodeCallGob(&want)
+		if err != nil {
+			t.Fatalf("call %d: gob encode: %v", i, err)
+		}
+		if legacy[0] >= 0x80 && legacy[0] <= 0xf7 {
+			t.Fatalf("call %d: gob stream starts with %#x, collides with version-byte space", i, legacy[0])
+		}
+		fromBin, err := DecodeCall(bin)
+		if err != nil {
+			t.Fatalf("call %d: decode binary: %v", i, err)
+		}
+		fromGob, err := DecodeCall(legacy)
+		if err != nil {
+			t.Fatalf("call %d: decode legacy: %v", i, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromGob) {
+			t.Errorf("call %d: binary and legacy decodes differ:\n  bin %+v\n  gob %+v", i, fromBin, fromGob)
+		}
+		if !callEqual(fromBin, &want) {
+			t.Errorf("call %d: round trip mismatch:\n  got  %+v\n  want %+v", i, fromBin, want)
+		}
+		FreeBuf(bin)
+	}
+}
+
+func TestReplyCodecGobParity(t *testing.T) {
+	for i, want := range codecReplies {
+		bin, err := EncodeReply(&want)
+		if err != nil {
+			t.Fatalf("reply %d: encode: %v", i, err)
+		}
+		if bin[0] != verReply {
+			t.Fatalf("reply %d: version byte %#x, want %#x", i, bin[0], verReply)
+		}
+		legacy, err := encodeReplyGob(&want)
+		if err != nil {
+			t.Fatalf("reply %d: gob encode: %v", i, err)
+		}
+		fromBin, err := DecodeReply(bin)
+		if err != nil {
+			t.Fatalf("reply %d: decode binary: %v", i, err)
+		}
+		fromGob, err := DecodeReply(legacy)
+		if err != nil {
+			t.Fatalf("reply %d: decode legacy: %v", i, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromGob) {
+			t.Errorf("reply %d: binary and legacy decodes differ:\n  bin %+v\n  gob %+v", i, fromBin, fromGob)
+		}
+		if !replyEqual(fromBin, &want) {
+			t.Errorf("reply %d: round trip mismatch:\n  got  %+v\n  want %+v", i, fromBin, want)
+		}
+	}
+}
+
+// callEqual compares treating nil and empty byte slices as equal (gob
+// and the binary codec both collapse the distinction).
+func callEqual(a, b *Call) bool {
+	return a.ID == b.ID && a.Target == b.Target && a.Method == b.Method &&
+		bytes.Equal(a.Args, b.Args) && a.NumArgs == b.NumArgs &&
+		a.CallerType == b.CallerType && a.CallerURI == b.CallerURI &&
+		a.ReadOnly == b.ReadOnly && a.KnowsServer == b.KnowsServer
+}
+
+func replyEqual(a, b *Reply) bool {
+	return a.ID == b.ID && bytes.Equal(a.Results, b.Results) &&
+		a.NumResults == b.NumResults && a.AppErr == b.AppErr && a.Fault == b.Fault &&
+		a.HasAttachment == b.HasAttachment && a.ServerType == b.ServerType &&
+		a.MethodReadOnly == b.MethodReadOnly
+}
+
+// TestDecodeNoAlias: decoded byte fields must be copies — transport
+// reads and WAL cursors reuse their buffers after decode returns.
+func TestDecodeNoAlias(t *testing.T) {
+	orig := &Call{Args: []byte{1, 2, 3}, NumArgs: 1, Method: "M"}
+	data, err := EncodeCall(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DecodeCall(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xee
+	}
+	if !bytes.Equal(c.Args, []byte{1, 2, 3}) || c.Method != "M" {
+		t.Fatalf("decoded call aliases the input buffer: %+v", c)
+	}
+}
+
+// TestDecodeTruncated: every strict prefix of a valid envelope must
+// error cleanly, never panic or succeed.
+func TestDecodeTruncated(t *testing.T) {
+	full, err := EncodeCall(&codecCalls[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < len(full); n++ {
+		if _, err := DecodeCall(full[:n]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(full))
+		}
+	}
+	fullR, err := EncodeReply(&codecReplies[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < len(fullR); n++ {
+		if _, err := DecodeReply(fullR[:n]); err == nil {
+			t.Fatalf("reply decode of %d/%d-byte prefix succeeded", n, len(fullR))
+		}
+	}
+}
+
+// TestDecodeTrailing: bytes after a complete envelope are corruption,
+// not padding.
+func TestDecodeTrailing(t *testing.T) {
+	data, err := EncodeCall(&codecCalls[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCall(append(data, 0x00)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+}
+
+// FuzzCallCodecParity builds a Call from fuzzed fields and checks the
+// binary round trip preserves exactly what a gob round trip preserves.
+func FuzzCallCodecParity(f *testing.F) {
+	f.Add("m", uint32(1), uint32(2), uint64(3), "t", "M", []byte{1}, 1, byte(1), "u", true, false)
+	f.Add("", uint32(0), uint32(0), uint64(0), "", "", []byte(nil), 0, byte(0), "", false, false)
+	f.Fuzz(func(t *testing.T, machine string, proc, comp uint32, seq uint64,
+		target, method string, args []byte, numArgs int, ctype byte, uri string, ro, ks bool) {
+		in := &Call{
+			ID:     ids.CallID{Caller: ids.ComponentAddr{Machine: machine, Proc: ids.ProcID(proc), Comp: ids.CompID(comp)}, Seq: seq},
+			Target: ids.URI(target), Method: method, Args: args, NumArgs: numArgs,
+			CallerType: ComponentType(ctype), CallerURI: ids.URI(uri),
+			ReadOnly: ro, KnowsServer: ks,
+		}
+		if numArgs < 0 {
+			return // int field is uvarint on the wire; negative counts never occur
+		}
+		bin, err := EncodeCall(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeCall(bin)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !callEqual(got, in) {
+			t.Fatalf("round trip mismatch:\n  got  %+v\n  want %+v", got, in)
+		}
+	})
+}
+
+func FuzzReplyCodecParity(f *testing.F) {
+	f.Add("m", uint64(3), []byte{1}, 1, "e", "f", true, byte(1), false)
+	f.Fuzz(func(t *testing.T, machine string, seq uint64, results []byte,
+		numResults int, appErr, fault string, att bool, stype byte, mro bool) {
+		if numResults < 0 {
+			return
+		}
+		in := &Reply{
+			ID:      ids.CallID{Caller: ids.ComponentAddr{Machine: machine}, Seq: seq},
+			Results: results, NumResults: numResults, AppErr: appErr, Fault: fault,
+			HasAttachment: att, ServerType: ComponentType(stype), MethodReadOnly: mro,
+		}
+		bin, err := EncodeReply(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeReply(bin)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !replyEqual(got, in) {
+			t.Fatalf("round trip mismatch:\n  got  %+v\n  want %+v", got, in)
+		}
+	})
+}

@@ -123,8 +123,71 @@ type Reply struct {
 	MethodReadOnly bool
 }
 
-// EncodeCall serializes a Call for the transport.
+// EncodeCall serializes a Call for the transport: the binary envelope
+// of codec.go, in a pooled buffer. The caller owns the returned slice
+// until it calls FreeBuf (callers that cannot prove release just skip
+// FreeBuf; see pool.go).
 func EncodeCall(c *Call) ([]byte, error) {
+	buf := append(GetBuf(), verCall)
+	buf = AppendCall(buf, c)
+	codecMetrics.BytesOut.Add(int64(len(buf)))
+	return buf, nil
+}
+
+// DecodeCall deserializes a Call from the transport. A 0xC1 first byte
+// selects the binary envelope; anything else is an old-format gob
+// stream (gob streams cannot start with 0x80..0xF7) and falls back to
+// the legacy decoder, so mixed-version peers and old logs keep working.
+func DecodeCall(data []byte) (*Call, error) {
+	codecMetrics.BytesIn.Add(int64(len(data)))
+	if len(data) > 0 && data[0] == verCall {
+		var c Call
+		rest, err := ConsumeCall(data[1:], &c)
+		if err != nil {
+			return nil, fmt.Errorf("msg: decode call: %w", err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("msg: decode call: %d trailing bytes", len(rest))
+		}
+		return &c, nil
+	}
+	codecMetrics.LegacyDecodes.Inc()
+	return decodeCallGob(data)
+}
+
+// EncodeReply serializes a Reply for the transport. Unlike EncodeCall
+// the result is NOT pooled: replies cross goroutines asynchronously
+// (transport delivery, the last-call reply table), so no call site can
+// prove release.
+func EncodeReply(r *Reply) ([]byte, error) {
+	buf := append(make([]byte, 0, 64+len(r.Results)), verReply)
+	buf = AppendReply(buf, r)
+	codecMetrics.BytesOut.Add(int64(len(buf)))
+	return buf, nil
+}
+
+// DecodeReply deserializes a Reply from the transport, with the same
+// gob fallback as DecodeCall.
+func DecodeReply(data []byte) (*Reply, error) {
+	codecMetrics.BytesIn.Add(int64(len(data)))
+	if len(data) > 0 && data[0] == verReply {
+		var r Reply
+		rest, err := ConsumeReply(data[1:], &r)
+		if err != nil {
+			return nil, fmt.Errorf("msg: decode reply: %w", err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("msg: decode reply: %d trailing bytes", len(rest))
+		}
+		return &r, nil
+	}
+	codecMetrics.LegacyDecodes.Inc()
+	return decodeReplyGob(data)
+}
+
+// encodeCallGob is the pre-binary-codec envelope encoder. It survives
+// for the fallback parity tests and for writing legacy-format fixtures.
+func encodeCallGob(c *Call) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
 		return nil, fmt.Errorf("msg: encode call: %w", err)
@@ -132,8 +195,7 @@ func EncodeCall(c *Call) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeCall deserializes a Call from the transport.
-func DecodeCall(data []byte) (*Call, error) {
+func decodeCallGob(data []byte) (*Call, error) {
 	var c Call
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
 		return nil, fmt.Errorf("msg: decode call: %w", err)
@@ -141,8 +203,7 @@ func DecodeCall(data []byte) (*Call, error) {
 	return &c, nil
 }
 
-// EncodeReply serializes a Reply for the transport.
-func EncodeReply(r *Reply) ([]byte, error) {
+func encodeReplyGob(r *Reply) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
 		return nil, fmt.Errorf("msg: encode reply: %w", err)
@@ -150,8 +211,7 @@ func EncodeReply(r *Reply) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeReply deserializes a Reply from the transport.
-func DecodeReply(data []byte) (*Reply, error) {
+func decodeReplyGob(data []byte) (*Reply, error) {
 	var r Reply
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
 		return nil, fmt.Errorf("msg: decode reply: %w", err)

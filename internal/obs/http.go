@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // DebugPath is where a debug server exposes the registry, in the
@@ -28,8 +29,10 @@ type DebugServer struct {
 }
 
 // StartDebugServer listens on addr (e.g. "127.0.0.1:6060"; port 0 picks
-// a free one) and serves r at DebugPath. The server runs on its own
-// goroutine until Close.
+// a free one) and serves r at DebugPath, plus the standard pprof
+// profiling endpoints under /debug/pprof/ (the server uses its own mux,
+// so net/http/pprof's DefaultServeMux registrations must be re-homed
+// here). The server runs on its own goroutine until Close.
 func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -37,6 +40,11 @@ func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle(DebugPath, Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil

@@ -139,6 +139,28 @@ const (
 	TransportBytesOut   = "transport.bytes_out"
 	TransportBytesIn    = "transport.bytes_in"
 	TransportRTMicros   = "transport.rt_micros"
+
+	// --- envelope codec (internal/msg). Bytes are message-envelope
+	// bytes as framed for the transport and the log, counted at encode
+	// (out) and decode (in) time; the pool counters expose the scratch
+	// buffer hit rate of the zero-allocation hot path — a falling hit
+	// rate means some caller leaks buffers instead of FreeBuf-ing. ---
+
+	// CodecBytesOut totals envelope bytes produced by EncodeCall and
+	// EncodeReply.
+	CodecBytesOut = "codec.bytes_out"
+	// CodecBytesIn totals envelope bytes consumed by DecodeCall and
+	// DecodeReply.
+	CodecBytesIn = "codec.bytes_in"
+	// CodecPoolHits counts scratch-buffer requests served from the pool
+	// with a warm (full-capacity) buffer.
+	CodecPoolHits = "codec.pool_hits"
+	// CodecPoolMisses counts scratch-buffer requests that had to grow a
+	// fresh buffer.
+	CodecPoolMisses = "codec.pool_misses"
+	// CodecLegacyDecodes counts envelopes and records decoded through
+	// the gob fallback path (pre-binary-codec format).
+	CodecLegacyDecodes = "codec.legacy_decodes"
 )
 
 // WALMetrics pre-resolves the device-boundary metrics for the log
@@ -176,6 +198,29 @@ func WALView(r *Registry) *WALMetrics {
 		GroupWaitMicros:   r.Histogram(WALGroupWaitMicros),
 		GroupSyncsSaved:   r.Counter(WALGroupSyncsSaved),
 		GroupBackpressure: r.Counter(WALGroupBackpressure),
+	}
+}
+
+// CodecMetrics pre-resolves the envelope-codec metrics for the
+// per-message hot path of internal/msg. Like the other views, every
+// field of a nil-registry view is nil and the update methods tolerate
+// it.
+type CodecMetrics struct {
+	BytesOut      *Counter
+	BytesIn       *Counter
+	PoolHits      *Counter
+	PoolMisses    *Counter
+	LegacyDecodes *Counter
+}
+
+// CodecView resolves the codec.* bundle from r.
+func CodecView(r *Registry) *CodecMetrics {
+	return &CodecMetrics{
+		BytesOut:      r.Counter(CodecBytesOut),
+		BytesIn:       r.Counter(CodecBytesIn),
+		PoolHits:      r.Counter(CodecPoolHits),
+		PoolMisses:    r.Counter(CodecPoolMisses),
+		LegacyDecodes: r.Counter(CodecLegacyDecodes),
 	}
 }
 

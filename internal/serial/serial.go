@@ -25,6 +25,7 @@ import (
 	"reflect"
 
 	"repro/internal/ids"
+	"repro/internal/msg"
 )
 
 // RemoteRef is implemented by proxies to components in other contexts;
@@ -223,20 +224,76 @@ func isRefType(t reflect.Type) bool {
 	return t.Implements(remoteRefType) || t.Implements(localRefType)
 }
 
-// Encode serializes the State for inclusion in a log record.
+// verState is the version byte opening a binary State encoding. Like
+// the message-envelope version bytes it lives in 0x80..0xF7, which no
+// gob stream can start with, so DecodeState can tell the two formats
+// apart and old captured states keep restoring (DESIGN.md Section 10).
+const verState = 0xC5
+
+// Encode serializes the State for inclusion in a log record: 0xC5,
+// TypeName, a field count, then Name/Kind/Data per field, using the
+// msg codec primitives. Field values inside Data stay gob — their
+// types are open, exactly like call arguments.
 func (s *State) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		return nil, fmt.Errorf("serial: encode state: %w", err)
+	dst := []byte{verState}
+	dst = msg.AppendString(dst, s.TypeName)
+	dst = msg.AppendUvarint(dst, uint64(len(s.Fields)))
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		dst = msg.AppendString(dst, f.Name)
+		dst = append(dst, byte(f.Kind))
+		dst = msg.AppendBytes(dst, f.Data)
 	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
-// DecodeState deserializes a State produced by Encode.
+// DecodeState deserializes a State produced by Encode, in either the
+// binary format or the legacy gob format.
 func DecodeState(data []byte) (*State, error) {
+	if len(data) > 0 && data[0] == verState {
+		s, err := decodeStateBinary(data[1:])
+		if err != nil {
+			return nil, fmt.Errorf("serial: decode state: %w", err)
+		}
+		return s, nil
+	}
 	var s State
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("serial: decode state: %w", err)
+	}
+	return &s, nil
+}
+
+func decodeStateBinary(data []byte) (*State, error) {
+	var s State
+	var err error
+	var n uint64
+	if s.TypeName, data, err = msg.ConsumeString(data); err != nil {
+		return nil, err
+	}
+	if n, data, err = msg.ConsumeUvarint(data); err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) { // each field takes at least one byte
+		return nil, fmt.Errorf("field count %d exceeds %d remaining bytes", n, len(data))
+	}
+	s.Fields = make([]FieldState, n)
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		if f.Name, data, err = msg.ConsumeString(data); err != nil {
+			return nil, err
+		}
+		var k byte
+		if k, data, err = msg.ConsumeByte(data); err != nil {
+			return nil, err
+		}
+		f.Kind = FieldKind(k)
+		if f.Data, data, err = msg.ConsumeBytes(data); err != nil {
+			return nil, err
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(data))
 	}
 	return &s, nil
 }

@@ -1,6 +1,8 @@
 package serial
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"reflect"
 	"strings"
@@ -252,5 +254,64 @@ func TestPlainStateRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStateCodecFormats: the binary State encoding must round-trip,
+// and a legacy gob encoding of the same State must decode identically
+// (state records written before the binary codec keep restoring).
+func TestStateCodecFormats(t *testing.T) {
+	want := &State{
+		TypeName: "serial.plain",
+		Fields: []FieldState{
+			{Name: "A", Kind: KindValue, Data: []byte{3, 4, 0, 42}},
+			{Name: "R", Kind: KindRemoteRef, Data: []byte("phoenix://m/p/c")},
+			{Name: "L", Kind: KindLocalRef, Data: []byte("7")},
+			{Name: "N", Kind: KindNilRef},
+		},
+	}
+	bin, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin[0] != verState {
+		t.Fatalf("version byte %#x, want %#x", bin[0], verState)
+	}
+	fromBin, err := DecodeState(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, err := DecodeState(legacy.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	norm := func(s *State) {
+		for i := range s.Fields {
+			if len(s.Fields[i].Data) == 0 {
+				s.Fields[i].Data = nil
+			}
+		}
+	}
+	norm(fromBin)
+	norm(fromGob)
+	norm(want)
+	if !reflect.DeepEqual(fromBin, want) {
+		t.Errorf("binary round trip mismatch:\n  got  %+v\n  want %+v", fromBin, want)
+	}
+	if !reflect.DeepEqual(fromBin, fromGob) {
+		t.Errorf("binary and legacy decodes differ:\n  bin %+v\n  gob %+v", fromBin, fromGob)
+	}
+
+	// Truncations must error cleanly, never panic.
+	for n := 1; n < len(bin); n++ {
+		if _, err := DecodeState(bin[:n]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(bin))
+		}
 	}
 }

@@ -72,8 +72,12 @@ func (t *TCP) serve(l *tcpListener, h Handler) {
 		}
 		go func() {
 			defer conn.Close()
+			// Request and response frames stage in per-connection
+			// grow-only buffers; the Handler contract (no retention of
+			// the request buffer) is what makes the reuse sound.
+			var rbuf, wbuf []byte
 			for {
-				req, err := readFrame(conn)
+				req, _, err := readFrameInto(conn, &rbuf)
 				if err != nil {
 					return
 				}
@@ -87,8 +91,12 @@ func (t *TCP) serve(l *tcpListener, h Handler) {
 					writeFrame(conn, 1, []byte(err.Error()))
 					return
 				}
-				if err := writeFrame(conn, 0, resp); err != nil {
+				wbuf = appendFrame(wbuf[:0], 0, resp)
+				if _, err := conn.Write(wbuf); err != nil {
 					return
+				}
+				if cap(wbuf) > maxRetainedFrameBuf {
+					wbuf = nil
 				}
 			}
 		}()
@@ -106,12 +114,25 @@ func (t *TCP) Unlisten(addr string) {
 	}
 }
 
+// tcpConn is one pooled client connection. The write and read staging
+// buffers are cached per connection — the per-message cost this evens
+// out used to be gob re-sending its type descriptors on every message;
+// with the binary envelope the remaining per-message transport cost is
+// these buffers, so they live exactly where the descriptor cache would
+// have. Both are reset on redial: a fresh connection starts with no
+// inherited state, the same discipline a per-connection encoder cache
+// would need.
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
+	wbuf []byte // frame staging for sends (header + payload, one Write)
+	rbuf []byte // frame staging for responses
 }
 
-// Send implements Network.
+// Send implements Network. The returned response bytes are owned by
+// the connection and are only valid until the next Send to the same
+// address; callers that retain them must copy (the runtime decodes the
+// reply — copying every field — before the next send can happen).
 func (t *TCP) Send(addr string, req []byte) ([]byte, error) {
 	t.mu.Lock()
 	c := t.conns[addr]
@@ -130,21 +151,25 @@ func (t *TCP) Send(addr string, req []byte) ([]byte, error) {
 		}
 		c.conn = conn
 	}
-	resp, kind, err := roundTrip(c.conn, req)
+	resp, kind, err := c.roundTrip(req)
 	if err != nil {
 		// The pooled connection may be stale (server restarted): redial
-		// once before giving up.
+		// once before giving up. Redial drops the cached buffers along
+		// with the socket — per-connection state does not outlive the
+		// connection.
 		c.conn.Close()
+		c.wbuf, c.rbuf = nil, nil
 		conn, derr := net.DialTimeout("tcp", addr, t.DialTimeout)
 		if derr != nil {
 			c.conn = nil
 			return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, addr, derr)
 		}
 		c.conn = conn
-		resp, kind, err = roundTrip(c.conn, req)
+		resp, kind, err = c.roundTrip(req)
 		if err != nil {
 			c.conn.Close()
 			c.conn = nil
+			c.wbuf, c.rbuf = nil, nil
 			return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, addr, err)
 		}
 	}
@@ -154,46 +179,77 @@ func (t *TCP) Send(addr string, req []byte) ([]byte, error) {
 	return resp, nil
 }
 
-func roundTrip(conn net.Conn, req []byte) (resp []byte, kind byte, err error) {
-	if err := writeFrame(conn, 0, req); err != nil {
+func (c *tcpConn) roundTrip(req []byte) (resp []byte, kind byte, err error) {
+	c.wbuf = appendFrame(c.wbuf[:0], 0, req)
+	if _, err := c.conn.Write(c.wbuf); err != nil {
 		return nil, 0, err
 	}
-	return readFrameKind(conn)
+	return readFrameInto(c.conn, &c.rbuf)
 }
 
 // Frame format: 4-byte little-endian length, 1-byte kind (0 = data,
 // 1 = handler error), payload.
-const maxFrame = 64 << 20
+const (
+	frameHdrSize = 5
+	maxFrame     = 64 << 20
+	// maxRetainedFrameBuf bounds what a connection's staging buffers
+	// keep between frames; an occasional giant frame must not pin its
+	// capacity on an idle connection.
+	maxRetainedFrameBuf = 1 << 20
+)
+
+// appendFrame stages header and payload contiguously into buf, so a
+// frame goes out in one Write with no per-frame allocation.
+func appendFrame(buf []byte, kind byte, p []byte) []byte {
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+	hdr[4] = kind
+	buf = append(buf, hdr[:]...)
+	return append(buf, p...)
+}
 
 func writeFrame(w io.Writer, kind byte, p []byte) error {
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(p)))
-	hdr[4] = kind
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(p)
+	_, err := w.Write(appendFrame(nil, kind, p))
 	return err
 }
 
-func readFrameKind(r io.Reader) ([]byte, byte, error) {
-	hdr := make([]byte, 5)
+// readFrameInto reads one frame, staging it in *buf (grown as needed
+// and written back for reuse). The returned payload aliases *buf and
+// is only valid until the next call with the same buffer.
+func readFrameInto(r io.Reader, buf *[]byte) ([]byte, byte, error) {
+	b := *buf
+	if cap(b) < frameHdrSize {
+		b = make([]byte, frameHdrSize, 4096)
+	}
+	hdr := b[:frameHdrSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, 0, err
 	}
-	n := binary.LittleEndian.Uint32(hdr)
+	n := int(binary.LittleEndian.Uint32(hdr))
 	if n > maxFrame {
 		return nil, 0, errors.New("transport: oversized frame")
 	}
-	p := make([]byte, n)
+	kind := hdr[4]
+	if cap(b) < frameHdrSize+n {
+		nb := make([]byte, frameHdrSize+n)
+		copy(nb, hdr)
+		b = nb
+	}
+	p := b[frameHdrSize : frameHdrSize+n]
 	if _, err := io.ReadFull(r, p); err != nil {
 		return nil, 0, err
 	}
-	return p, hdr[4], nil
+	if cap(b) <= maxRetainedFrameBuf {
+		*buf = b
+	} else {
+		*buf = nil
+	}
+	return p, kind, nil
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
-	p, _, err := readFrameKind(r)
+	var buf []byte
+	p, _, err := readFrameInto(r, &buf)
 	return p, err
 }
 

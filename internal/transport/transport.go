@@ -42,7 +42,10 @@ type Network interface {
 	Listen(addr string, h Handler) error
 	// Unlisten stops routing addr (the process "crashed").
 	Unlisten(addr string)
-	// Send delivers one request to addr and returns the response.
+	// Send delivers one request to addr and returns the response. The
+	// request buffer is not retained. The response bytes may live in a
+	// per-connection buffer: they are only valid until the next Send
+	// to the same address, so callers that retain them must copy.
 	Send(addr string, req []byte) ([]byte, error)
 }
 

@@ -30,6 +30,7 @@ func TestScanFromMatchesScan(t *testing.T) {
 	for _, from := range []ids.LSN{ids.NilLSN, lsns[0], lsns[10], lsns[49]} {
 		var want []Record
 		if err := l.Scan(from, func(r Record) error {
+			r.Payload = append([]byte(nil), r.Payload...) // payload is scan-owned
 			want = append(want, r)
 			return nil
 		}); err != nil {
@@ -48,6 +49,7 @@ func TestScanFromMatchesScan(t *testing.T) {
 			if !ok {
 				break
 			}
+			rec.Payload = append([]byte(nil), rec.Payload...) // payload is cursor-owned
 			got = append(got, rec)
 		}
 		if len(got) != len(want) {

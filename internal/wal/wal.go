@@ -81,6 +81,11 @@ const (
 	firstLSN = ids.LSN(16)
 )
 
+// crcTable backs the incremental crc32.Update calls on the append and
+// read paths (ChecksumIEEE over a joined copy is an allocation per
+// record).
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
 // DefaultSegmentBytes is the roll-over threshold for segment files.
 const DefaultSegmentBytes = 4 << 20
 
@@ -120,6 +125,7 @@ type Log struct {
 	mu       sync.Mutex
 	segs     []*segment // ascending by start; last is active
 	buf      []byte
+	encBuf   []byte  // grow-only scratch for AppendInto encoders
 	bufBase  ids.LSN // LSN of buf[0]
 	synced   ids.LSN // stable watermark (survives Discard)
 	unsynced map[*segment]bool
@@ -276,21 +282,27 @@ func (l *Log) openSegment(start ids.LSN) (*segment, error) {
 // just past the last complete, checksum-valid record.
 func (l *Log) scanValidEnd(s *segment) (ids.LSN, error) {
 	off := int64(0)
-	frame := make([]byte, frameSize)
+	buf := make([]byte, frameSize, 4096) // frame + payload scratch, grow-only
 	for off+frameSize <= s.size {
+		frame := buf[:frameSize]
 		if _, err := s.f.ReadAt(frame, segHeaderSize+off); err != nil {
 			return 0, fmt.Errorf("wal: read frame: %w", err)
 		}
 		n := int64(binary.LittleEndian.Uint32(frame))
+		wantCRC := binary.LittleEndian.Uint32(frame[5:9])
 		if n > s.size-off-frameSize {
 			break // torn tail
 		}
-		payload := make([]byte, n)
+		if int64(cap(buf)) < frameSize+n {
+			nb := make([]byte, frameSize+int(n))
+			copy(nb, frame)
+			buf = nb
+		}
+		payload := buf[frameSize : frameSize+int(n)]
 		if _, err := s.f.ReadAt(payload, segHeaderSize+off+frameSize); err != nil {
 			return 0, fmt.Errorf("wal: read payload: %w", err)
 		}
-		if crc32.ChecksumIEEE(append([]byte{frame[4]}, payload...)) !=
-			binary.LittleEndian.Uint32(frame[5:9]) {
+		if crc32.Update(crc32.Update(0, crcTable, buf[4:5]), crcTable, payload) != wantCRC {
 			break // corrupt record: stop here
 		}
 		off += frameSize + n
@@ -309,13 +321,21 @@ func (l *Log) active() *segment { return l.segs[len(l.segs)-1] }
 
 // Append adds a record to the log buffer and returns its LSN. The
 // record is not stable until the next Force (or until recovery-time
-// reads flush it to a file, which still does not sync it).
+// reads flush it to a file, which still does not sync it). Append
+// does not retain payload and, in steady state, does not allocate:
+// the frame header is built on the stack, the checksum runs over the
+// type byte and payload without a joining copy, and the payload lands
+// directly in the log buffer.
 func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ids.NilLSN, ErrClosed
 	}
+	return l.appendLocked(t, payload)
+}
+
+func (l *Log) appendLocked(t RecordType, payload []byte) (ids.LSN, error) {
 	// Records never straddle segment files: if this record would push
 	// the active segment past its capacity, flush what is pending and
 	// roll first, so the record begins the new segment. (An oversized
@@ -336,13 +356,17 @@ func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 	}
 
 	lsn := l.bufBase + ids.LSN(len(l.buf))
-	frame := make([]byte, frameSize)
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	// Frame and checksum are built directly inside l.buf (a stack frame
+	// scratch escapes via the checksum/write calls and becomes a
+	// per-record allocation).
+	base := len(l.buf)
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
 	frame[4] = byte(t)
-	crc := crc32.ChecksumIEEE(append([]byte{byte(t)}, payload...))
-	binary.LittleEndian.PutUint32(frame[5:9], crc)
-	l.buf = append(l.buf, frame...)
+	l.buf = append(l.buf, frame[:]...)
 	l.buf = append(l.buf, payload...)
+	crc := crc32.Update(crc32.Update(0, crcTable, l.buf[base+4:base+5]), crcTable, payload)
+	binary.LittleEndian.PutUint32(l.buf[base+5:base+9], crc)
 	l.stats.Appends++
 	l.m.Appends.Inc()
 	l.m.AppendBytes.Observe(int64(len(payload)))
@@ -352,6 +376,34 @@ func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 		}
 	}
 	return lsn, nil
+}
+
+// AppendInto appends a record whose payload is produced by enc, which
+// must append the payload bytes to the slice it is given and return
+// the extended slice. The payload is built in a grow-only scratch
+// buffer the log owns and framed from there, so the encode+append path
+// allocates nothing in steady state. enc runs under the log mutex: it
+// must not call back into the log, and must not retain the slice it is
+// given or the one it returns.
+func (l *Log) AppendInto(t RecordType, enc func(dst []byte) ([]byte, error)) (ids.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ids.NilLSN, ErrClosed
+	}
+	payload, err := enc(l.encBuf[:0])
+	if err != nil {
+		return ids.NilLSN, err
+	}
+	// Keep the (possibly grown) scratch for the next record, but let an
+	// occasional giant payload go to the collector rather than pinning
+	// its capacity forever.
+	if cap(payload) <= maxBuffered {
+		l.encBuf = payload[:0]
+	} else {
+		l.encBuf = nil
+	}
+	return l.appendLocked(t, payload)
 }
 
 // flushLocked writes the buffer into the active segment without
@@ -605,35 +657,62 @@ func (l *Log) Read(lsn ids.LSN) (Record, error) {
 }
 
 func (l *Log) readLocked(lsn ids.LSN) (Record, error) {
+	rec, _, err := l.readIntoLocked(lsn, nil)
+	return rec, err
+}
+
+// readIntoLocked reads the record at lsn, staging frame and payload in
+// buf (grown as needed). It returns the possibly grown buffer so
+// iterating callers (Scan, Cursor) can amortize one buffer across a
+// whole traversal; with a nil buf the payload is freshly allocated and
+// safe for the caller to keep (the readLocked/Read contract). The
+// frame scratch lives inside buf too — a stack array here escapes via
+// the read/checksum calls and costs an allocation per record.
+func (l *Log) readIntoLocked(lsn ids.LSN, buf []byte) (Record, []byte, error) {
 	s := l.findSegment(lsn)
 	if s == nil {
-		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, lsn)
+		return Record{}, buf, fmt.Errorf("%w: %v", ErrNotFound, lsn)
 	}
 	off := segHeaderSize + int64(lsn-s.start)
-	frame := make([]byte, frameSize)
 	if off+frameSize > segHeaderSize+s.size {
-		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, lsn)
+		return Record{}, buf, fmt.Errorf("%w: %v", ErrNotFound, lsn)
 	}
+	if cap(buf) < frameSize {
+		buf = make([]byte, frameSize, 512)
+	}
+	frame := buf[:frameSize]
 	if _, err := s.f.ReadAt(frame, off); err != nil {
-		return Record{}, fmt.Errorf("wal: read frame: %w", err)
+		return Record{}, buf, fmt.Errorf("wal: read frame: %w", err)
 	}
 	n := int64(binary.LittleEndian.Uint32(frame))
+	typ := RecordType(frame[4])
+	wantCRC := binary.LittleEndian.Uint32(frame[5:9])
 	if off+frameSize+n > segHeaderSize+s.size {
-		return Record{}, fmt.Errorf("%w: %v (record extends past end)", ErrNotFound, lsn)
+		return Record{}, buf, fmt.Errorf("%w: %v (record extends past end)", ErrNotFound, lsn)
 	}
-	payload := make([]byte, n)
+	if int64(cap(buf)) < frameSize+n {
+		nb := make([]byte, frameSize+int(n))
+		copy(nb, frame)
+		buf = nb
+	}
+	payload := buf[frameSize : frameSize+int(n)]
 	if _, err := s.f.ReadAt(payload, off+frameSize); err != nil {
-		return Record{}, fmt.Errorf("wal: read payload: %w", err)
+		return Record{}, buf, fmt.Errorf("wal: read payload: %w", err)
 	}
-	if crc32.ChecksumIEEE(append([]byte{frame[4]}, payload...)) !=
-		binary.LittleEndian.Uint32(frame[5:9]) {
-		return Record{}, fmt.Errorf("wal: checksum mismatch at %v", lsn)
+	if crc32.Update(crc32.Update(0, crcTable, buf[4:5]), crcTable, payload) != wantCRC {
+		return Record{}, buf, fmt.Errorf("wal: checksum mismatch at %v", lsn)
 	}
-	return Record{LSN: lsn, Type: RecordType(frame[4]), Payload: payload}, nil
+	return Record{LSN: lsn, Type: typ, Payload: payload}, buf, nil
 }
 
 // Scan calls fn for every record from lsn `from` (or the log start if
 // from is nil or trimmed away) to the end of the log, in LSN order.
+//
+// The Record's Payload is only valid for the duration of the callback:
+// the scan reuses one grow-only buffer across records (recovery walks
+// the whole log, and a per-record allocation there is exactly the cost
+// this log exists to avoid). A callback that retains payload bytes
+// must copy them.
 func (l *Log) Scan(from ids.LSN, fn func(Record) error) error {
 	l.mu.Lock()
 	if l.closed {
@@ -652,6 +731,7 @@ func (l *Log) Scan(from ids.LSN, fn func(Record) error) error {
 	if lsn.IsNil() || lsn < start {
 		lsn = start
 	}
+	var buf []byte
 	for lsn+frameSize <= end {
 		l.mu.Lock()
 		// Segment boundaries: a position at a segment's end is the
@@ -660,7 +740,9 @@ func (l *Log) Scan(from ids.LSN, fn func(Record) error) error {
 			l.mu.Unlock()
 			return fmt.Errorf("%w: %v (scan)", ErrNotFound, lsn)
 		}
-		rec, err := l.readLocked(lsn)
+		var rec Record
+		var err error
+		rec, buf, err = l.readIntoLocked(lsn, buf)
 		l.mu.Unlock()
 		if err != nil {
 			return err
@@ -688,6 +770,7 @@ type Cursor struct {
 	l   *Log
 	lsn ids.LSN // position of the next record to return
 	end ids.LSN // snapshot of the log end at ScanFrom time
+	buf []byte  // grow-only payload buffer reused across Next calls
 }
 
 // ScanFrom returns a cursor positioned at lsn (or the log start if lsn
@@ -716,6 +799,11 @@ func (l *Log) ScanFrom(lsn ids.LSN) (*Cursor, error) {
 
 // Next returns the next record and advances the cursor. ok is false at
 // the end of the cursor's view (err is nil there).
+//
+// The Record's Payload is only valid until the following Next call:
+// the cursor reuses one grow-only buffer for the whole traversal, the
+// same contract as Scan. Consumers that retain payload bytes must
+// copy them.
 func (c *Cursor) Next() (rec Record, ok bool, err error) {
 	if c.lsn+frameSize > c.end {
 		return Record{}, false, nil
@@ -725,7 +813,7 @@ func (c *Cursor) Next() (rec Record, ok bool, err error) {
 		c.l.mu.Unlock()
 		return Record{}, false, ErrClosed
 	}
-	rec, err = c.l.readLocked(c.lsn)
+	rec, c.buf, err = c.l.readIntoLocked(c.lsn, c.buf)
 	c.l.mu.Unlock()
 	if err != nil {
 		return Record{}, false, err
