@@ -51,8 +51,11 @@ bench:
 
 # Quick allocation-focused microbenchmarks of the message/WAL hot path
 # (encode/decode envelopes, wal append, cursor scans), one iteration
-# batch each, plus the AllocsPerRun regression gates. This is the
-# perf-regression smoke CI runs; BENCH_PR5.json holds the trajectory.
+# batch each, plus the AllocsPerRun regression gates and the tracing
+# CPU-overhead gate (flight recorder must stay under 5% per call on
+# the group-commit workload). This is the perf-regression smoke CI
+# runs; BENCH_PR5.json and BENCH_PR6.json hold the trajectory.
 bench-smoke:
 	go test -run '^$$' -bench 'Encode|Decode|WALAppend|Cursor|Scan' -benchmem -benchtime 100x ./internal/msg/ ./internal/wal/
 	go test -run 'TestAllocs' -v ./internal/core/
+	go test -run 'TestTraceOverhead$$' -v ./internal/bench/

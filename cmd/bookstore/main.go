@@ -10,8 +10,11 @@
 // With -debug, the runtime metrics registry is served as JSON at
 // http://<addr>/debug/phoenixvars while the program runs — watch the
 // force, interception and recovery counters move as sessions execute
-// or chaos crashes processes. The same server mounts net/http/pprof
-// under /debug/pprof/, so a live run can be profiled:
+// or chaos crashes processes — and the live flight recorder at
+// http://<addr>/debug/phoenixtrace shows the most recent causal spans
+// (client intercept through reply, and replay spans after a chaos
+// crash). The same server mounts net/http/pprof under /debug/pprof/,
+// so a live run can be profiled:
 //
 //	go tool pprof http://127.0.0.1:8642/debug/pprof/profile
 //	go tool pprof http://127.0.0.1:8642/debug/pprof/heap
@@ -31,6 +34,7 @@ import (
 	phoenix "repro"
 	"repro/internal/bookstore"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func main() {
@@ -45,13 +49,23 @@ func main() {
 	)
 	flag.Parse()
 
+	// The flight recorder traces every external call; its spans feed the
+	// -debug endpoint live and the crash dumps phoenix-trace reads.
+	rec := trace.NewRecorder(trace.Options{
+		Name:    "bookstore",
+		Metrics: obs.Default(),
+		Now:     func() int64 { return time.Now().UnixNano() },
+	})
+
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, obs.Default())
+		srv, err := obs.StartDebugServer(*debugAddr, obs.Default(),
+			obs.Mount{Path: trace.DebugPath, Handler: trace.Handler(rec)})
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
 		defer srv.Close()
 		fmt.Printf("metrics at http://%s%s\n", srv.Addr(), obs.DebugPath)
+		fmt.Printf("traces  at http://%s%s\n", srv.Addr(), trace.DebugPath)
 	}
 
 	var level bookstore.Level
@@ -76,7 +90,7 @@ func main() {
 		root = d
 	}
 
-	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: root})
+	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{Dir: root, Trace: rec})
 	if err != nil {
 		log.Fatal(err)
 	}

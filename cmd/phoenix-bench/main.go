@@ -13,6 +13,7 @@
 //	phoenix-bench -metrics=false          # suppress the per-run metric dump
 //	phoenix-bench -cpuprofile cpu.pb.gz   # CPU profile of the whole run
 //	phoenix-bench -memprofile mem.pb.gz   # heap profile at exit
+//	phoenix-bench -trace                  # flight recorder on: per-stage p50/p99
 //
 // Each experiment also reports the runtime metrics it generated — the
 // obs counter deltas for that run: log appends and forces by site,
@@ -28,9 +29,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -58,6 +61,29 @@ func mallocs() uint64 {
 	return ms.Mallocs
 }
 
+// writeStageLatencies prints the per-stage trace latency quantiles an
+// experiment's run produced (-trace mode; the histograms are in the
+// metric delta, so JSON mode already carries them).
+func writeStageLatencies(w io.Writer, id string, delta obs.Snapshot) {
+	wrote := false
+	for _, name := range obs.TraceStageMicros {
+		h := delta.HistogramFor(name)
+		if h.Count == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "%s — trace stage latencies (model-time µs)\n", id)
+			wrote = true
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(name, "trace.stage."), "_micros")
+		fmt.Fprintf(w, "  %-20s %7d spans   p50 %6dµs   p99 %6dµs\n",
+			stage, h.Count, h.Quantile(0.50), h.Quantile(0.99))
+	}
+	if wrote {
+		fmt.Fprintln(w)
+	}
+}
+
 func main() {
 	var (
 		experiment  = flag.String("experiment", "", "experiment ID to run (default: all)")
@@ -71,6 +97,7 @@ func main() {
 		showMetrics = flag.Bool("metrics", true, "print the metric deltas of each experiment")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOn     = flag.Bool("trace", false, "wire a flight recorder into every universe and print per-stage trace latencies")
 	)
 	flag.Parse()
 
@@ -110,7 +137,8 @@ func main() {
 	}
 
 	opts := bench.Options{Scale: *scale, Calls: *calls, Seed: *seed,
-		Concurrency: *concurrency, RecoveryParallelism: *recoveryPar}.Defaults()
+		Concurrency: *concurrency, RecoveryParallelism: *recoveryPar,
+		Trace: *traceOn}.Defaults()
 
 	var exps []*bench.Experiment
 	if *experiment != "" {
@@ -154,6 +182,9 @@ func main() {
 			fmt.Printf("%s — runtime metrics for this run\n", tab.ID)
 			delta.WriteText(os.Stdout, "  ")
 			fmt.Printf("  allocs/op (process-wide, over %d calls): %.0f\n\n", opts.Calls, allocsPerOp)
+		}
+		if *traceOn {
+			writeStageLatencies(os.Stdout, tab.ID, delta)
 		}
 	}
 

@@ -1,0 +1,86 @@
+// Command phoenix-trace reconstructs causal timelines from what a
+// Phoenix/App deployment leaves on disk: flight-recorder dumps
+// (<process>.ftr.N, written next to the log when a process crashes)
+// and the trace-carrying records in the recovery logs themselves. It
+// merges both sources per TraceID, so a trace that crossed a crash
+// shows its original execution and its recovery replay as one
+// timeline, stitched by LSN.
+//
+//	phoenix-trace /path/to/state            # universe or machine dir
+//	phoenix-trace srv.log srv.ftr.0         # explicit logs and dumps
+//	phoenix-trace -json /path/to/state      # machine-readable timelines
+//
+// Directory arguments are searched for process logs and dumps at the
+// machine and universe level; file arguments name a specific log
+// directory (*.log) or dump file (*.ftr.*).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit timelines as JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: phoenix-trace [-json] <state-dir | process.log | process.ftr.N>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var logs, dumps []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-trace: %v\n", err)
+			os.Exit(1)
+		}
+		switch {
+		case strings.HasSuffix(arg, ".log"):
+			logs = append(logs, arg)
+		case strings.Contains(arg, ".ftr."):
+			dumps = append(dumps, arg)
+		case info.IsDir():
+			l, d, err := core.DiscoverTraceFiles(arg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "phoenix-trace: %v\n", err)
+				os.Exit(1)
+			}
+			logs = append(logs, l...)
+			dumps = append(dumps, d...)
+		default:
+			fmt.Fprintf(os.Stderr, "phoenix-trace: %s: not a state dir, *.log or *.ftr.* file\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	tls, err := core.TraceTimelines(logs, dumps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phoenix-trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tls); err != nil {
+			fmt.Fprintf(os.Stderr, "phoenix-trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(tls) == 0 {
+		fmt.Fprintf(os.Stderr, "phoenix-trace: no traced spans or records in %d logs, %d dumps\n",
+			len(logs), len(dumps))
+		os.Exit(1)
+	}
+	core.WriteTimelines(os.Stdout, tls)
+}

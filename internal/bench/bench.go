@@ -45,6 +45,11 @@ type Options struct {
 	Seed int64
 	// Dir is scratch space for logs; empty uses a temp dir per run.
 	Dir string
+	// Trace wires a flight recorder into every universe the experiment
+	// builds, so calls run with causal tracing enabled and the trace.*
+	// stage histograms land in the default registry (phoenix-bench
+	// -trace reports their p50/p99).
+	Trace bool
 }
 
 // Defaults fills unset fields.

@@ -7,6 +7,7 @@ import (
 
 	phoenix "repro"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -19,6 +20,7 @@ type env struct {
 	u     *phoenix.Universe
 	clock phoenix.Clock
 	mem   *transport.Mem
+	rec   *phoenix.TraceRecorder // non-nil when Options.Trace
 	dir   string
 	own   bool // dir owned (delete on close)
 
@@ -48,6 +50,11 @@ type envConfig struct {
 	// hostDisk disables the disk simulation entirely (Table 7 times
 	// CPU-bound replay, not media).
 	hostDisk bool
+	// virtualClock replaces the scaled-sleep clock with a non-sleeping
+	// VirtualClock: simulated waits (rotations, commit windows, RTTs)
+	// cost zero wall time, so wall-clock measurements over such an env
+	// isolate pure CPU cost (the trace-overhead gate).
+	virtualClock bool
 }
 
 // local/remote presets per the paper's experimental setup.
@@ -62,6 +69,9 @@ func remoteEnv() envConfig {
 
 func newEnv(o Options, ec envConfig) (*env, error) {
 	e := &env{o: o, clock: disk.NewRealClock(o.Scale)}
+	if ec.virtualClock {
+		e.clock = disk.NewVirtualClock()
+	}
 	e.diskParams = disk.DefaultParams()
 	e.diskParams.WriteCache = ec.writeCache
 
@@ -116,11 +126,22 @@ func newEnv(o Options, ec envConfig) (*env, error) {
 		params.NoiseSeed = o.Seed + diskSeq
 		return disk.NewSimDisk(params, e.clock)
 	}
+	if o.Trace {
+		// Stage histograms account to the default registry, where the
+		// per-experiment snapshot diffs (and phoenix-bench -json/-trace)
+		// pick them up; timestamps are model time.
+		e.rec = phoenix.NewTraceRecorder(phoenix.TraceOptions{
+			Name:    "bench",
+			Metrics: obs.Default(),
+			Now:     func() int64 { return e.clock.Now().UnixNano() },
+		})
+	}
 	u, err := phoenix.NewUniverse(phoenix.UniverseConfig{
 		Dir:       dir,
 		Clock:     e.clock,
 		Net:       e.mem,
 		DiskModel: diskModel,
+		Trace:     e.rec,
 	})
 	if err != nil {
 		e.Close()

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTraceOverheadShape runs the experiment end to end at quick
+// options: both rows present, the traced run recorded spans, and the
+// per-stage breakdown rows carry parseable quantiles.
+func TestTraceOverheadShape(t *testing.T) {
+	tab, err := runTraceOverhead(quickOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tab, "tracing off", "Overhead"); got != "-" {
+		t.Errorf("untraced overhead cell = %q, want -", got)
+	}
+	spans, err := strconv.Atoi(cell(t, tab, "tracing on", "Spans"))
+	if err != nil || spans == 0 {
+		t.Errorf("traced run recorded %q spans, want > 0", cell(t, tab, "tracing on", "Spans"))
+	}
+	stageRows := 0
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "  stage ") {
+			stageRows++
+			if !strings.HasPrefix(row[2], "p50 ") || !strings.HasPrefix(row[3], "p99 ") {
+				t.Errorf("stage row %v lacks p50/p99 cells", row)
+			}
+		}
+	}
+	if stageRows == 0 {
+		t.Error("no per-stage breakdown rows in the traced run")
+	}
+}

@@ -39,8 +39,14 @@ func (b *AllocBatcher) RunBatch(n int) (int, error) {
 // persistent↔persistent call (Table 4 optimized row: client and server
 // both persistent, optimized logging), envelope cost subtracted.
 func measureCallPathAllocs(t *testing.T) float64 {
+	return measureCallPathAllocsIn(t, newTestUniverse(t))
+}
+
+// measureCallPathAllocsIn is measureCallPathAllocs against a universe
+// under the caller's control — the traced gate passes one with a
+// flight recorder wired in.
+func measureCallPathAllocsIn(t *testing.T, u *Universe) float64 {
 	t.Helper()
-	u := newTestUniverse(t)
 	_, ps := startProc(t, u, "evo2", "srv", testConfig())
 	defer ps.Close()
 	_, pc := startProc(t, u, "evo1", "cli", testConfig())
@@ -117,6 +123,26 @@ func TestAllocsCallPath(t *testing.T) {
 	if got > prePR/2 {
 		t.Errorf("call path allocates %.1f/call; gate is ≤ %.1f (50%% of pre-PR %.1f)",
 			got, prePR/2, prePR)
+	}
+}
+
+// TestAllocsTracedCallPath gates the tracing tentpole's allocation
+// budget: with a flight recorder wired into the universe, the same
+// persistent↔persistent call path must stay within +2 allocs/call of
+// the untraced baseline. Span recording itself is wait-free and
+// alloc-free (trace's TestRecordZeroAllocs); the +2 headroom covers
+// envelope-level trace minting and toolchain drift.
+func TestAllocsTracedCallPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow under -short")
+	}
+	base := measureCallPathAllocs(t)
+	u, _ := newTracedUniverse(t)
+	traced := measureCallPathAllocsIn(t, u)
+	t.Logf("call path: %.1f allocs/call untraced, %.1f traced", base, traced)
+	if traced > base+2 {
+		t.Errorf("tracing costs %.1f allocs/call (untraced %.1f, traced %.1f); gate is ≤ +2",
+			traced-base, base, traced)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/wal"
 )
 
@@ -163,6 +164,13 @@ type Config struct {
 	// asserting the paper's per-algorithm invariants give each process
 	// its own registry.
 	Metrics *obs.Registry
+
+	// Trace is the flight recorder this process records causal spans
+	// into: interception, log-append, sync-wait and replay legs of every
+	// traced interaction. Nil falls back to the universe's recorder
+	// (UniverseConfig.Trace); nil there too means tracing off — the
+	// disabled path costs one pointer check per site.
+	Trace *trace.Recorder
 }
 
 const (

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs/trace"
 	"repro/internal/rpc"
 	"repro/internal/serial"
 )
@@ -45,6 +46,14 @@ type Context struct {
 	// replayReplies when possible instead of being sent.
 	recovering    bool
 	replayReplies map[uint64]*msg.Reply
+
+	// curTrace is the causal trace of the incoming call currently
+	// executing in this context (zero between calls or when untraced).
+	// Outgoing calls made during the execution inherit it as their
+	// parent; replay restores the original call's trace here so records
+	// re-logged during a resumed execution stay on the original
+	// timeline. Owned by the goroutine holding mu.
+	curTrace trace.Ref
 
 	// restartLSN is the latest context state record (or the creation
 	// record if none) — the context's replay starting point and its

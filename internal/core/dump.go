@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/serial"
 	"repro/internal/wal"
 )
@@ -117,6 +118,15 @@ func forcedKind(t wal.RecordType) bool {
 	return t == recCreation || t == recReplySent
 }
 
+// dumpTrace appends a record's causal identity when it carries one —
+// the same TraceID phoenix-trace keys timelines on, so grepping a
+// logdump for a trace hex lands on the records that trace produced.
+func dumpTrace(w io.Writer, tr trace.Ref) {
+	if !tr.IsZero() {
+		fmt.Fprintf(w, " trace=%016x/%d", tr.Trace, tr.Span)
+	}
+}
+
 func dumpPayload(w io.Writer, rec wal.Record) error {
 	switch rec.Type {
 	case recCreation:
@@ -139,12 +149,14 @@ func dumpPayload(w io.Writer, rec wal.Record) error {
 		}
 		fmt.Fprintf(w, "ctx=%d %s.%s from %s (%s)",
 			v.Ctx, v.Call.Target, v.Call.Method, caller, v.Call.CallerType)
+		dumpTrace(w, v.Trace)
 	case recReplySent:
 		var v replySentRec
 		if err := decodeRec(rec.Payload, &v); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "ctx=%d call=%v (short record: sent marker only)", v.Ctx, v.CallID)
+		dumpTrace(w, v.Trace)
 	case recReplyContent:
 		var v replyContentRec
 		if err := decodeRec(rec.Payload, &v); err != nil {
@@ -152,12 +164,14 @@ func dumpPayload(w io.Writer, rec wal.Record) error {
 		}
 		fmt.Fprintf(w, "ctx=%d call=%v results=%dB appErr=%q",
 			v.Ctx, v.CallID, len(v.Reply.Results), v.Reply.AppErr)
+		dumpTrace(w, v.Trace)
 	case recOutgoing:
 		var v outgoingRec
 		if err := decodeRec(rec.Payload, &v); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "ctx=%d -> %s.%s seq=%d", v.Ctx, v.Call.Target, v.Call.Method, v.Call.ID.Seq)
+		dumpTrace(w, v.Trace)
 	case recOutgoingReply:
 		var v outgoingReplyRec
 		if err := decodeRec(rec.Payload, &v); err != nil {
@@ -165,6 +179,7 @@ func dumpPayload(w io.Writer, rec wal.Record) error {
 		}
 		fmt.Fprintf(w, "ctx=%d seq=%d results=%dB appErr=%q",
 			v.Ctx, v.Seq, len(v.Reply.Results), v.Reply.AppErr)
+		dumpTrace(w, v.Trace)
 	case recCtxState:
 		var v ctxStateRec
 		if err := decodeRec(rec.Payload, &v); err != nil {

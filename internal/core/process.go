@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/rpc"
 	"repro/internal/wal"
 )
@@ -38,6 +40,11 @@ type Process struct {
 	// view for the interception hot paths.
 	metrics *obs.Registry
 	obs     *obs.RuntimeMetrics
+
+	// tr is the resolved flight recorder (Config.Trace, else the
+	// universe's). Nil means tracing off; every recording site is
+	// nil-safe, so the disabled hot path pays one pointer check.
+	tr *trace.Recorder
 
 	mu         sync.Mutex
 	contexts   map[ids.CompID]*Context
@@ -103,6 +110,10 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		reg = m.u.metrics
 	}
 	log.SetMetrics(reg)
+	tr := cfg.Trace
+	if tr == nil {
+		tr = m.u.cfg.Trace
+	}
 	// The flusher's commit window sleeps on the universe clock, so a
 	// virtual clock drives group commit deterministically in tests.
 	log.StartGroupCommit(cfg.GroupCommit, m.u.cfg.Clock)
@@ -118,6 +129,7 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		wkPath:       filepath.Join(m.dir, name+".wk"),
 		metrics:      reg,
 		obs:          obs.RuntimeView(reg),
+		tr:           tr,
 		contexts:     make(map[ids.CompID]*Context),
 		byName:       make(map[string]*Context),
 		components:   make(map[ids.CompID]*component),
@@ -474,15 +486,61 @@ func (p *Process) reclaimPoint() ids.LSN {
 // per-kind record counters (the paper's message kinds 1-4 plus the
 // creation/state/checkpoint records). Hot records encode straight into
 // the log's scratch buffer (wal.AppendInto + the binary payload codec),
-// so the per-call append allocates nothing.
+// so the per-call append allocates nothing; a traced record also drops
+// a StageWALAppend span (the traceable assertion reads the existing
+// interface value, so the span costs no allocation either).
 func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
+	var tref trace.Ref
+	var tstart int64
+	if p.tr != nil {
+		if tv, ok := v.(traceable); ok {
+			if tref = tv.traceRef(); !tref.IsZero() {
+				tstart = p.tr.Now()
+			}
+		}
+	}
 	lsn, err := p.log.AppendInto(t, func(dst []byte) ([]byte, error) {
 		return appendRecInto(dst, t, v)
 	})
 	if err == nil {
 		p.recCounter(t).Inc()
+		if !tref.IsZero() {
+			p.tr.Record(trace.SpanData{
+				Ref:    trace.Ref{Trace: tref.Trace, Span: p.tr.NewSpan()},
+				Parent: tref.Span,
+				Stage:  trace.StageWALAppend,
+				Start:  tstart,
+				End:    p.tr.Now(),
+				LSN:    uint64(lsn),
+				Proc:   &p.name,
+			})
+		}
 	}
 	return lsn, err
+}
+
+// forceTraced wraps forceTo with a StageSyncWait span — the time a
+// commit point spent waiting for durability (group-commit window plus
+// device sync, or the inline sync). It delegates to forceTo, the
+// blessed force chokepoint, so phoenix-lint's forcesite check needs no
+// new allowlist entry for it.
+func (p *Process) forceTraced(site *obs.Counter, lsn ids.LSN, tref trace.Ref, method *string) error {
+	if p.tr == nil || tref.IsZero() {
+		return p.forceTo(site, lsn)
+	}
+	tstart := p.tr.Now()
+	err := p.forceTo(site, lsn)
+	p.tr.Record(trace.SpanData{
+		Ref:    trace.Ref{Trace: tref.Trace, Span: p.tr.NewSpan()},
+		Parent: tref.Span,
+		Stage:  trace.StageSyncWait,
+		Start:  tstart,
+		End:    p.tr.Now(),
+		LSN:    uint64(lsn),
+		Proc:   &p.name,
+		Method: method,
+	})
+	return err
 }
 
 // recCounter maps a record type to its obs counter.
@@ -527,8 +585,11 @@ func (p *Process) markStarted() {
 
 // Crash fail-stops the process: the transport address goes silent, the
 // log buffer (everything not yet forced) is lost, and all in-memory
-// runtime state is abandoned. The machine's recovery service is
-// notified, which restarts the process if auto-restart is enabled.
+// runtime state is abandoned — except the flight recorder, which is
+// dumped next to the log first (a real deployment's crash handler
+// writes the ring from a signal handler; the virtual process does the
+// moral equivalent). The machine's recovery service is notified, which
+// restarts the process if auto-restart is enabled.
 func (p *Process) Crash() {
 	if !p.crashed.CompareAndSwap(false, true) {
 		return
@@ -536,9 +597,42 @@ func (p *Process) Crash() {
 	p.u.cfg.Net.Unlisten(p.addr)
 	p.listening.Store(false)
 	p.log.Discard()
+	p.dumpFlightRecorder()
 	p.markStarted() // release any waiters; they will see the crash
 	p.emit(EventCrash, "", "")
 	p.m.svc.NotifyCrash(p.name)
+}
+
+// FlightRecorder returns the process's resolved flight recorder (nil
+// when tracing is off).
+func (p *Process) FlightRecorder() *trace.Recorder { return p.tr }
+
+// DumpFlightRecorder writes the current ring contents to path in the
+// trace dump format (phoenix-trace reads it back). Unlike the crash
+// path's automatic dump this can run any time, e.g. from an operational
+// endpoint.
+func (p *Process) DumpFlightRecorder(path string) error {
+	return trace.WriteDump(path, p.tr.Snapshot())
+}
+
+// dumpFlightRecorder persists the ring next to the log on a crash as
+// <proc>.ftr.N — N counts restarts, so a trace that crosses several
+// crashes keeps every generation's spans. Best-effort by design: the
+// process is going down and a dump failure must not perturb the crash
+// path.
+func (p *Process) dumpFlightRecorder() {
+	if p.tr == nil || p.tr.Len() == 0 {
+		return
+	}
+	base := strings.TrimSuffix(p.logPath, ".log")
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("%s.ftr.%d", base, n)
+		if _, err := os.Stat(path); err == nil {
+			continue // this generation already dumped; keep it
+		}
+		_ = trace.WriteDump(path, p.tr.Snapshot())
+		return
+	}
 }
 
 // shutdown releases resources without simulating a crash (clean exit

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/wal"
 )
 
@@ -25,13 +26,25 @@ import (
 // length-prefixed bytes). Embedded Call/Reply bodies use the bare
 // envelope bodies (msg.AppendCall / msg.AppendReply — no 0xC1/0xC2).
 //
-// 0xC3 lives in the 0x80..0xF7 range no gob stream can start with, so
-// decodeRec falls back to gob on any other first byte and logs written
-// before this codec replay unchanged (the mixed-format recovery test
-// proves it).
+// Traced records (PR 6) are framed 0xC4, kind byte, uvarint TraceID,
+// uvarint SpanID, then the identical 0xC3 tail. The encoder emits 0xC4
+// only for a nonzero record trace, so untraced logs stay bit-for-bit
+// in the PR-5 format; since the bare Call/Reply bodies never carry the
+// trace, the record header is the only durable home of a record's
+// causal identity, and the decoder restores it into both the record's
+// Trace field and its embedded message.
+//
+// 0xC3 and 0xC4 live in the 0x80..0xF7 range no gob stream can start
+// with, so decodeRec falls back to gob on any other first byte and
+// logs written before this codec replay unchanged (the mixed-format
+// recovery test proves it).
 
-// recBinVer is the version byte opening a binary record payload.
-const recBinVer = 0xC3
+// recBinVer is the version byte opening a binary record payload;
+// recBinVerTraced opens one carrying a causal-trace header.
+const (
+	recBinVer       = 0xC3
+	recBinVerTraced = 0xC4
+)
 
 // legacyRecEncoding is a test hook: when true, appendRecInto writes
 // every record payload in the legacy gob format, so tests can produce
@@ -51,24 +64,24 @@ func appendRecInto(dst []byte, t wal.RecordType, v any) ([]byte, error) {
 	if !legacyRecEncoding {
 		switch r := v.(type) {
 		case *incomingRec:
-			dst = append(dst, recBinVer, byte(t))
+			dst = appendRecHeader(dst, t, r.Trace)
 			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
 			return msg.AppendCall(dst, &r.Call), nil
 		case *replySentRec:
-			dst = append(dst, recBinVer, byte(t))
+			dst = appendRecHeader(dst, t, r.Trace)
 			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
 			return appendCallID(dst, r.CallID), nil
 		case *replyContentRec:
-			dst = append(dst, recBinVer, byte(t))
+			dst = appendRecHeader(dst, t, r.Trace)
 			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
 			dst = appendCallID(dst, r.CallID)
 			return msg.AppendReply(dst, &r.Reply), nil
 		case *outgoingRec:
-			dst = append(dst, recBinVer, byte(t))
+			dst = appendRecHeader(dst, t, r.Trace)
 			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
 			return msg.AppendCall(dst, &r.Call), nil
 		case *outgoingReplyRec:
-			dst = append(dst, recBinVer, byte(t))
+			dst = appendRecHeader(dst, t, r.Trace)
 			dst = msg.AppendUvarint(dst, uint64(r.Ctx))
 			dst = msg.AppendUvarint(dst, r.Seq)
 			return msg.AppendReply(dst, &r.Reply), nil
@@ -79,6 +92,18 @@ func appendRecInto(dst []byte, t wal.RecordType, v any) ([]byte, error) {
 		return nil, err
 	}
 	return append(dst, b...), nil
+}
+
+// appendRecHeader opens a binary record payload: the untraced 0xC3
+// header for a zero trace (keeping untraced logs bit-for-bit PR-5),
+// the 0xC4 header with the trace identity otherwise.
+func appendRecHeader(dst []byte, t wal.RecordType, tr trace.Ref) []byte {
+	if tr.IsZero() {
+		return append(dst, recBinVer, byte(t))
+	}
+	dst = append(dst, recBinVerTraced, byte(t))
+	dst = msg.AppendUvarint(dst, tr.Trace)
+	return msg.AppendUvarint(dst, tr.Span)
 }
 
 func appendCallID(dst []byte, id ids.CallID) []byte {
@@ -106,15 +131,26 @@ func consumeCallID(data []byte, id *ids.CallID) ([]byte, error) {
 	return data, err
 }
 
-// decodeRecBinary decodes a 0xC3 payload into v, verifying the kind
-// byte matches the record struct the caller expects (the frame type
-// routed the caller here, so a mismatch means a corrupt or mislabeled
-// record, not a version issue).
+// decodeRecBinary decodes a 0xC3 or 0xC4 payload into v, verifying the
+// kind byte matches the record struct the caller expects (the frame
+// type routed the caller here, so a mismatch means a corrupt or
+// mislabeled record, not a version issue). A 0xC4 header's trace is
+// restored into both the record's Trace field and its embedded
+// Call/Reply, whose bare bodies never carry it.
 func decodeRecBinary(data []byte, v any) error {
 	kind := wal.RecordType(data[1])
 	body := data[2:]
+	var tr trace.Ref
 	var u uint64
 	var err error
+	if data[0] == recBinVerTraced {
+		if tr.Trace, body, err = msg.ConsumeUvarint(body); err != nil {
+			return fmt.Errorf("core: decode %T trace: %w", v, err)
+		}
+		if tr.Span, body, err = msg.ConsumeUvarint(body); err != nil {
+			return fmt.Errorf("core: decode %T trace: %w", v, err)
+		}
+	}
 	if u, body, err = msg.ConsumeUvarint(body); err != nil {
 		return fmt.Errorf("core: decode %T: %w", v, err)
 	}
@@ -124,27 +160,36 @@ func decodeRecBinary(data []byte, v any) error {
 	case *incomingRec:
 		want = recIncoming
 		r.Ctx = ctx
+		r.Trace = tr
 		body, err = msg.ConsumeCall(body, &r.Call)
+		r.Call.Trace = tr
 	case *replySentRec:
 		want = recReplySent
 		r.Ctx = ctx
+		r.Trace = tr
 		body, err = consumeCallID(body, &r.CallID)
 	case *replyContentRec:
 		want = recReplyContent
 		r.Ctx = ctx
+		r.Trace = tr
 		if body, err = consumeCallID(body, &r.CallID); err == nil {
 			body, err = msg.ConsumeReply(body, &r.Reply)
 		}
+		r.Reply.Trace = tr
 	case *outgoingRec:
 		want = recOutgoing
 		r.Ctx = ctx
+		r.Trace = tr
 		body, err = msg.ConsumeCall(body, &r.Call)
+		r.Call.Trace = tr
 	case *outgoingReplyRec:
 		want = recOutgoingReply
 		r.Ctx = ctx
+		r.Trace = tr
 		if r.Seq, body, err = msg.ConsumeUvarint(body); err == nil {
 			body, err = msg.ConsumeReply(body, &r.Reply)
 		}
+		r.Reply.Trace = tr
 	default:
 		return fmt.Errorf("core: decode %T: binary payload for a gob-only record", v)
 	}

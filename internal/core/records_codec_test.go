@@ -7,6 +7,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/wal"
 )
 
@@ -31,6 +32,17 @@ var hotRecCases = []struct {
 	{recOutgoing, &outgoingRec{Ctx: 6, Call: msg.Call{Method: "M", NumArgs: 0}}},
 	{recOutgoingReply, &outgoingReplyRec{Ctx: 7, Seq: 41,
 		Reply: msg.Reply{Fault: "gone", MethodReadOnly: true}}},
+	// Traced variants frame as recBinVerTraced; the trace rides the
+	// header, and decode restores it into the embedded message too.
+	{recIncoming, &incomingRec{Ctx: 8, Trace: trace.Ref{Trace: 0xAB00000001, Span: 7},
+		Call: msg.Call{Method: "Add", Args: []byte{9}, NumArgs: 1,
+			Trace: trace.Ref{Trace: 0xAB00000001, Span: 7}}}},
+	{recReplySent, &replySentRec{Ctx: 9, Trace: trace.Ref{Trace: 0xCD00000002, Span: 11},
+		CallID: ids.CallID{Caller: ids.ComponentAddr{Machine: "m", Proc: 2, Comp: 3}, Seq: 5}}},
+	{recOutgoingReply, &outgoingReplyRec{Ctx: 10, Seq: 42,
+		Trace: trace.Ref{Trace: 0xEF00000003, Span: 13},
+		Reply: msg.Reply{Results: []byte{4}, NumResults: 1,
+			Trace: trace.Ref{Trace: 0xEF00000003, Span: 13}}}},
 }
 
 // TestRecordCodecRoundTrip: every hot record kind must round-trip
@@ -43,8 +55,12 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: encode: %v", name, err)
 		}
-		if bin[0] != recBinVer || bin[1] != byte(tc.t) {
-			t.Fatalf("%s: header % x, want %#x %#x", name, bin[:2], recBinVer, byte(tc.t))
+		wantVer := byte(recBinVer)
+		if tv, ok := tc.v.(traceable); ok && !tv.traceRef().IsZero() {
+			wantVer = recBinVerTraced
+		}
+		if bin[0] != wantVer || bin[1] != byte(tc.t) {
+			t.Fatalf("%s: header % x, want %#x %#x", name, bin[:2], wantVer, byte(tc.t))
 		}
 		legacy, err := encodeRec(tc.v)
 		if err != nil {
@@ -109,8 +125,11 @@ func TestRecordCodecKindMismatch(t *testing.T) {
 }
 
 // TestMixedFormatRecovery: a log whose prefix was written by the
-// legacy gob record codec and whose tail is binary must recover
-// exactly — the upgrade scenario for logs that predate this codec.
+// legacy gob record codec, whose middle is untraced binary, and whose
+// tail is traced binary must recover exactly — the upgrade scenario
+// for logs that predate the codec and then predate tracing. The
+// pre-trace phases are written by an untraced process, so their bytes
+// are bit-for-bit what PR-5 produced.
 func TestMixedFormatRecovery(t *testing.T) {
 	for _, mode := range []LogMode{LogBaseline, LogOptimized} {
 		u := newTestUniverse(t)
@@ -152,7 +171,61 @@ func TestMixedFormatRecovery(t *testing.T) {
 		if after := obs.Default().Counter(obs.CodecLegacyDecodes).Load(); after <= before {
 			t.Errorf("%v: recovery of a mixed log did not count any legacy decodes", mode)
 		}
-		p2.Close()
+
+		// Phase 3: crash again and restart with a flight recorder — the
+		// tracing upgrade on the same log. Replay of the pre-trace
+		// prefix is unchanged; new traffic appends 0xC4-framed traced
+		// records alongside it.
+		p2.Crash()
+		cfgTraced := cfg
+		cfgTraced.Trace = trace.NewRecorder(trace.Options{
+			Name: "mixed", Metrics: obs.NewRegistry()})
+		p3, err := m.StartProcess("srv", cfgTraced)
+		if err != nil {
+			t.Fatalf("%v: traced restart: %v", mode, err)
+		}
+		if got := callInt(t, ref, "Add", 5); got != 25 {
+			t.Errorf("%v: traced Add -> %d, want 25", mode, got)
+		}
+		if got := callInt(t, ref, "Add", 5); got != 30 {
+			t.Errorf("%v: traced Add -> %d, want 30", mode, got)
+		}
+		p3.Crash()
+
+		// Final restart replays all three formats from one log — gob,
+		// untraced binary, traced binary — back in an untraced process.
+		before = obs.Default().Counter(obs.CodecLegacyDecodes).Load()
+		p4, err := m.StartProcess("srv", cfg)
+		if err != nil {
+			t.Fatalf("%v: final restart: %v", mode, err)
+		}
+		if got := callInt(t, ref, "Get"); got != 30 {
+			t.Errorf("%v: counter after three-format recovery = %d, want 30", mode, got)
+		}
+		if after := obs.Default().Counter(obs.CodecLegacyDecodes).Load(); after <= before {
+			t.Errorf("%v: three-format recovery did not count any legacy decodes", mode)
+		}
+		p4.Close()
+
+		// The closed log must actually hold traced frames (the phase-3
+		// tail) next to the legacy ones just replayed.
+		log, err := wal.Open(p4.LogDir(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := 0
+		if err := log.Scan(ids.NilLSN, func(rec wal.Record) error {
+			if len(rec.Payload) > 0 && rec.Payload[0] == recBinVerTraced {
+				traced++
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		log.Close()
+		if traced == 0 {
+			t.Errorf("%v: no traced (0x%x) records in the mixed log", mode, recBinVerTraced)
+		}
 	}
 }
 

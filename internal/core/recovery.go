@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs/trace"
 	"repro/internal/rpc"
 	"repro/internal/serial"
 	"repro/internal/wal"
@@ -75,11 +76,17 @@ func (p *Process) recover() error {
 	clock := p.u.cfg.Clock
 	var stats RecoveryStats
 	recStart, recWall := clock.Now(), time.Now()
+	// The recovery run gets a trace of its own for its scan spans;
+	// replayed calls stitch to their original traces instead (see
+	// replayIncoming), so a timeline shows both the call's replay and
+	// which recovery run performed it.
+	recRun := p.tr.NewTrace()
 	p.emitEvent(Event{Kind: EventRecoveryStart, LSN: start,
 		Detail: fmt.Sprintf("scanning from %v", start)})
 
 	// ---- Pass 1: find contexts and their restart LSNs. ----
 	pass1Start, pass1Wall := clock.Now(), time.Now()
+	pass1TS := p.tr.Now()
 	restart := make(map[ids.CompID]ids.LSN)
 	err := p.log.Scan(start, func(rec wal.Record) error {
 		stats.RecordsScanned++
@@ -152,6 +159,7 @@ func (p *Process) recover() error {
 	if err != nil {
 		return fmt.Errorf("recovery pass 1: %w", err)
 	}
+	p.recoverySpan(recRun, pass1TS)
 	if len(restart) == 0 {
 		p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Wall).Microseconds())
 		p.obs.RecoveryMicros.Observe(time.Since(recWall).Microseconds())
@@ -184,6 +192,7 @@ func (p *Process) recover() error {
 
 	// ---- Pass 2: replay incoming calls per context. ----
 	pass2Start, pass2Wall := clock.Now(), time.Now()
+	pass2TS := p.tr.Now()
 	if par := p.cfg.Recovery.Parallelism; par > 0 {
 		scanned, workers, err := p.replayParallel(minLSN, par, p.cfg.Recovery.queueDepth())
 		if err != nil {
@@ -199,6 +208,7 @@ func (p *Process) recover() error {
 		stats.RecordsScanned += scanned
 	}
 	p.obs.RecoveryPass2Micros.Observe(time.Since(pass2Wall).Microseconds())
+	p.recoverySpan(recRun, pass2TS)
 	stats.Pass2Duration = clock.Now().Sub(pass2Start)
 	// Contexts with no tail call to replay become available now.
 	for _, cx := range restored {
@@ -478,6 +488,22 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, erro
 	return scanned, nil
 }
 
+// recoverySpan records one recovery scan pass under the run's own
+// trace (recRun from recover()); free when tracing is off.
+func (p *Process) recoverySpan(run trace.Ref, start int64) {
+	if p.tr == nil || run.IsZero() {
+		return
+	}
+	p.tr.Record(trace.SpanData{
+		Ref:    trace.Ref{Trace: run.Trace, Span: p.tr.NewSpan()},
+		Parent: run.Span,
+		Stage:  trace.StageRecoveryScan,
+		Start:  start,
+		End:    p.tr.Now(),
+		Proc:   &p.name,
+	})
+}
+
 // replayIncoming re-executes one logged incoming call. Outgoing calls
 // are answered from replies when present; a missing reply means the
 // log ends inside this call, and execution continues live with the
@@ -485,6 +511,12 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, erro
 // repeats from their last call tables. The reply is not sent to the
 // caller (condition 5) — it lands in the last call table, where a
 // duplicate call will find it.
+//
+// A traced record replays under its ORIGINAL trace: the StageReplay
+// span carries the trace read back from the log plus the record's LSN,
+// which is what lets phoenix-trace stitch the pre-crash and post-crash
+// halves of a timeline together; curTrace is restored too, so records
+// re-logged by a resumed execution stay on that timeline.
 func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, replies map[uint64]*msg.Reply) error {
 	if cx == nil {
 		return nil
@@ -493,9 +525,11 @@ func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, repl
 	defer cx.mu.Unlock()
 	cx.recovering = true
 	cx.replayReplies = replies
+	cx.curTrace = ir.Trace
 	defer func() {
 		cx.recovering = false
 		cx.replayReplies = nil
+		cx.curTrace = trace.Ref{}
 	}()
 
 	cx.beginExecution()
@@ -503,7 +537,20 @@ func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, repl
 	p.obs.ReplayedCalls.Inc()
 	p.emitEvent(Event{Kind: EventReplay, Context: cx.uri, Method: ir.Call.Method, LSN: lsn})
 	call := &ir.Call
+	replayStart := p.tr.Now()
 	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
+	if p.tr != nil && !ir.Trace.IsZero() {
+		p.tr.Record(trace.SpanData{
+			Ref:    trace.Ref{Trace: ir.Trace.Trace, Span: p.tr.NewSpan()},
+			Parent: ir.Trace.Span,
+			Stage:  trace.StageReplay,
+			Start:  replayStart,
+			End:    p.tr.Now(),
+			LSN:    uint64(lsn),
+			Proc:   &p.name,
+			Method: &call.Method,
+		})
+	}
 	if err != nil {
 		return fmt.Errorf("replay %s.%s: %w", cx.uri, call.Method, err)
 	}

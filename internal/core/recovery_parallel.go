@@ -26,14 +26,27 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs/trace"
 )
 
 // pass2Item is one demultiplexed Pass-2 record; exactly one of
-// incoming or reply is set.
+// incoming or reply is set. enq is the universe-clock time the reader
+// enqueued it (0 when tracing is off), so the drain can record how long
+// the record sat in its context's queue.
 type pass2Item struct {
 	incoming *incomingRec
 	reply    *outgoingReplyRec
 	lsn      ids.LSN
+	enq      int64
+}
+
+// itemTrace is the causal trace the demultiplexed record was logged
+// under (zero for untraced records).
+func (it pass2Item) itemTrace() trace.Ref {
+	if it.incoming != nil {
+		return it.incoming.Trace
+	}
+	return it.reply.Trace
 }
 
 // ctxQueue is one context's replay lane: a bounded channel fed by the
@@ -74,6 +87,17 @@ func (p *Process) replayParallel(from ids.LSN, parallelism, depth int) (int64, i
 		for it := range q.ch {
 			if q.err != nil {
 				continue // unblock the reader, drop the rest
+			}
+			if tref := it.itemTrace(); p.tr != nil && !tref.IsZero() {
+				p.tr.Record(trace.SpanData{
+					Ref:    trace.Ref{Trace: tref.Trace, Span: p.tr.NewSpan()},
+					Parent: tref.Span,
+					Stage:  trace.StageReplayQueueWait,
+					Start:  it.enq,
+					End:    p.tr.Now(),
+					LSN:    uint64(it.lsn),
+					Proc:   &p.name,
+				})
 			}
 			if it.incoming == nil {
 				reply := it.reply.Reply
@@ -158,6 +182,7 @@ scan:
 		if len(q.ch) == cap(q.ch) {
 			p.obs.RecoveryPass2Stalls.Inc()
 		}
+		it.enq = p.tr.Now()
 		q.ch <- it
 	}
 

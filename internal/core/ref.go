@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs/trace"
 	"repro/internal/rpc"
 )
 
@@ -131,14 +132,22 @@ func (r *Ref) Call(method string, args ...any) ([]any, error) {
 func (r *Ref) externalCall(call *msg.Call) (*msg.Reply, error) {
 	call.CallerType = msg.External
 	cfg := Config{} // defaults
+	tr := r.u.cfg.Trace
 	if r.p != nil {
 		cfg = r.p.cfg
+		if r.p.tr != nil {
+			tr = r.p.tr
+		}
 	}
+	// Every external interaction roots a fresh trace (nil recorder →
+	// zero Ref, i.e. untraced): the TraceID rides the 0xC6 envelope to
+	// the server and from there into every log record the call produces.
+	call.Trace = tr.NewTrace()
 	retries := cfg.retryLimit()
 	if r.noRetry {
 		retries = 1
 	}
-	return r.u.send(call, retries, cfg.retryInterval(), nil, "external")
+	return r.u.send(call, retries, cfg.retryInterval(), nil, "external", tr)
 }
 
 // outgoingCall is the client interceptor for calls from inside a
@@ -155,6 +164,16 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	call.ID = ids.CallID{Caller: cx.addr(), Seq: seq}
 	call.CallerType = cx.parent.ctype
 	call.CallerURI = cx.uri
+
+	// Causal tracing: the outgoing call is a child leg of the incoming
+	// call this context is executing (or, during replay, of the original
+	// call restored into curTrace) — its span ID is minted here and
+	// becomes the parent of the server-side and transport spans.
+	var outStart int64
+	if p.tr != nil && !cx.curTrace.IsZero() {
+		outStart = p.tr.Now()
+		call.Trace = trace.Ref{Trace: cx.curTrace.Trace, Span: p.tr.NewSpan()}
+	}
 
 	// What do we know about the server (Section 3.4)? Unknown servers
 	// get the most conservative treatment: persistent.
@@ -187,13 +206,13 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	case cx.parent.ctype == msg.External || stateless:
 		// Algorithms 4/5 at the stateless component: do nothing.
 	case p.cfg.LogMode == LogBaseline:
-		lsn, err := p.appendRec(recOutgoing, &outgoingRec{Ctx: cx.parent.id, Call: *call})
+		lsn, err := p.appendRec(recOutgoing, &outgoingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return nil, err
 		}
 		cx.lastLSN = lsn
 		p.inject(PointClientBeforeForceSend)
-		if err := p.forceTo(p.obs.ForceAtSend, cx.lastLSN); err != nil {
+		if err := p.forceTraced(p.obs.ForceAtSend, cx.lastLSN, call.Trace, &call.Method); err != nil {
 			return nil, err
 		}
 	default: // optimized
@@ -216,20 +235,34 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			// it) but all of this context's previous records must be
 			// stable.
 			p.inject(PointClientBeforeForceSend)
-			if err := p.forceTo(p.obs.ForceAtSend, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtSend, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return nil, err
 			}
 		}
 	}
 
 	p.inject(PointClientAfterForceSend)
+	if p.tr != nil && !call.Trace.IsZero() {
+		// The minted span IS the client-intercept leg; downstream spans
+		// (transport, server) hang off it.
+		p.tr.Record(trace.SpanData{
+			Ref:    call.Trace,
+			Parent: cx.curTrace.Span,
+			Stage:  trace.StageClientIntercept,
+			Start:  outStart,
+			End:    p.tr.Now(),
+			Proc:   &p.name,
+			Method: &call.Method,
+		})
+	}
 
 	// Condition 4: repeat the call until some response arrives.
 	reply, err := p.u.send(call, p.cfg.retryLimit(), p.cfg.retryInterval(),
-		p.cfg.OnEvent, p.name)
+		p.cfg.OnEvent, p.name, p.tr)
 	if err != nil {
 		return nil, err
 	}
+	resumeStart := p.tr.Now()
 
 	// Learn the server's type from the reply attachment.
 	if reply.HasAttachment {
@@ -250,13 +283,13 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		fallthrough
 	default:
 		if p.cfg.LogMode == LogBaseline {
-			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply})
+			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return nil, err
 			}
 			cx.lastLSN = lsn
 			p.inject(PointClientBeforeForceReply)
-			if err := p.forceTo(p.obs.ForceAtOutgoingReply, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtOutgoingReply, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return nil, err
 			}
 		} else if p.cfg.SpecializedTypes && serverType == msg.Functional {
@@ -266,7 +299,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			// Optimized: log message 4 without forcing. Read-only
 			// replies are unrepeatable and must be logged too
 			// (Algorithm 5: "Log message 4").
-			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply})
+			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return nil, err
 			}
@@ -274,13 +307,16 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		}
 	}
 	p.inject(PointClientAfterReply)
+	p.traceSpan(call, trace.StageClientResume, resumeStart)
 	return reply, nil
 }
 
 // send resolves the target and drives the transport with retries.
-// onEvent (optional) observes each redrive.
+// onEvent (optional) observes each redrive; tr (optional) records the
+// round trip as a StageTransport span of the call's trace — including
+// retries, which are part of what the caller waited for.
 func (u *Universe) send(call *msg.Call, retries int, interval time.Duration,
-	onEvent func(Event), procName string) (*msg.Reply, error) {
+	onEvent func(Event), procName string, tr *trace.Recorder) (*msg.Reply, error) {
 	addr, err := u.addrForURI(call.Target)
 	if err != nil {
 		return nil, err
@@ -295,6 +331,7 @@ func (u *Universe) send(call *msg.Call, retries int, interval time.Duration,
 	defer msg.FreeBuf(data)
 	u.rpcm.RPCCalls.Inc()
 	start := time.Now()
+	tstart := tr.Now()
 	defer func() { u.rpcm.RPCCallMicros.Observe(time.Since(start).Microseconds()) }()
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
@@ -320,6 +357,16 @@ func (u *Universe) send(call *msg.Call, retries int, interval time.Duration,
 		}
 		if reply.Fault != "" {
 			return nil, &Fault{Msg: reply.Fault}
+		}
+		if tr != nil && !call.Trace.IsZero() {
+			tr.Record(trace.SpanData{
+				Ref:    trace.Ref{Trace: call.Trace.Trace, Span: tr.NewSpan()},
+				Parent: call.Trace.Span,
+				Stage:  trace.StageTransport,
+				Start:  tstart,
+				End:    tr.Now(),
+				Method: &call.Method,
+			})
 		}
 		return reply, nil
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs/trace"
 	"repro/internal/transport"
 )
 
@@ -34,6 +35,13 @@ func (p *Process) handleRequest(req []byte) (resp []byte, err error) {
 	}()
 
 	reply := p.serveCall(call)
+	// EncodeReply deliberately allocates fresh bytes rather than drawing
+	// on the scratch pool (contrast Universe.send, which frees its
+	// encoded call once the retry loop is done): the encoded reply
+	// outlives this handler — transports may deliver it asynchronously
+	// and callers retain response buffers — so no site here could prove
+	// release. msg's TestEncodeReplyBypassesPool and
+	// TestPooledReplyWouldCorrupt pin that contract.
 	return msg.EncodeReply(reply)
 }
 
@@ -41,11 +49,37 @@ func fault(id ids.CallID, format string, args ...any) *msg.Reply {
 	return &msg.Reply{ID: id, Fault: fmt.Sprintf(format, args...)}
 }
 
+// traceSpan records one leg of call's trace ending now: a fresh span
+// under the call's span, tagged with this process and the method.
+// Free when tracing is off or the call is untraced.
+func (p *Process) traceSpan(call *msg.Call, st trace.Stage, start int64) {
+	if p.tr == nil || call.Trace.IsZero() {
+		return
+	}
+	p.tr.Record(trace.SpanData{
+		Ref:    trace.Ref{Trace: call.Trace.Trace, Span: p.tr.NewSpan()},
+		Parent: call.Trace.Span,
+		Stage:  st,
+		Start:  start,
+		End:    p.tr.Now(),
+		Proc:   &p.name,
+		Method: &call.Method,
+	})
+}
+
 // serveCall is the server-side message interceptor: duplicate
 // elimination (condition 3), message-1/2 logging per the active
 // discipline, single-threaded execution, last-call-table maintenance,
 // and checkpoint policy.
 func (p *Process) serveCall(call *msg.Call) *msg.Reply {
+	srvStart := p.tr.Now()
+	// An arrival with no causal identity — an untraced peer, or an
+	// external client whose side has no recorder — gets a trace minted
+	// here, so every logged interaction at a tracing process is
+	// timeline-complete from its first record.
+	if p.tr != nil && call.Trace.IsZero() {
+		call.Trace = p.tr.NewTrace()
+	}
 	_, _, compName, err := call.Target.Split()
 	if err != nil {
 		return fault(call.ID, "bad target %q: %v", call.Target, err)
@@ -134,7 +168,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	// Message 1 logging.
 	if !roTreatment {
 		p.inject(PointServerBeforeLogIncoming)
-		lsn, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call})
+		lsn, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return fault(call.ID, "log incoming: %v", err)
 		}
@@ -142,23 +176,29 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		if external || p.cfg.LogMode == LogBaseline {
 			// Algorithm 1 forces every message; Algorithm 3 force-logs
 			// external calls promptly so the failure window is small.
-			if err := p.forceTo(p.obs.ForceAtIncoming, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtIncoming, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return fault(call.ID, "force incoming: %v", err)
 			}
 		}
 		p.inject(PointServerAfterLogIncoming)
 	}
+	p.traceSpan(call, trace.StageServerIntercept, srvStart)
 
 	// Execute.
 	cx.beginExecution()
+	cx.curTrace = call.Trace
+	defer func() { cx.curTrace = trace.Ref{} }()
 	execStart := time.Now()
+	execTraceStart := p.tr.Now()
 	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
 	p.obs.ServeExecs.Inc()
 	p.obs.ServeExecMicros.Observe(time.Since(execStart).Microseconds())
+	p.traceSpan(call, trace.StageExecute, execTraceStart)
 	if err != nil {
 		return fault(call.ID, "%v", err)
 	}
-	reply := &msg.Reply{ID: call.ID, Results: results, NumResults: numResults, AppErr: appErr}
+	replyStart := p.tr.Now()
+	reply := &msg.Reply{ID: call.ID, Results: results, NumResults: numResults, AppErr: appErr, Trace: call.Trace}
 	p.inject(PointServerAfterExecute)
 
 	// Message 2 logging, before the reply is sent.
@@ -166,23 +206,23 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		switch {
 		case p.cfg.LogMode == LogBaseline:
 			// Algorithm 1: log the full reply and force.
-			lsn, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply})
+			lsn, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return fault(call.ID, "log reply: %v", err)
 			}
 			cx.lastLSN = lsn
-			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtReply, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return fault(call.ID, "force reply: %v", err)
 			}
 		case external:
 			// Algorithm 3: a short record — only the fact that the
 			// reply was (attempted to be) sent — then force.
-			lsn, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID})
+			lsn, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID, Trace: call.Trace})
 			if err != nil {
 				return fault(call.ID, "log reply-sent: %v", err)
 			}
 			cx.lastLSN = lsn
-			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtReply, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return fault(call.ID, "force reply-sent: %v", err)
 			}
 		default:
@@ -190,7 +230,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 			// it) but it commits state — force all of this context's
 			// previous records (other contexts' dirty tails are their
 			// own commits' business).
-			if err := p.forceTo(p.obs.ForceAtReply, cx.lastLSN); err != nil {
+			if err := p.forceTraced(p.obs.ForceAtReply, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return fault(call.ID, "force at reply: %v", err)
 			}
 		}
@@ -230,6 +270,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		reply.ServerType = cx.parent.ctype
 		reply.MethodReadOnly = roMethodAttr
 	}
+	p.traceSpan(call, trace.StageReply, replyStart)
 	return reply
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/recsvc"
 	"repro/internal/transport"
 )
@@ -61,6 +62,11 @@ type UniverseConfig struct {
 	// rpc activity is accounted here, and processes whose Config sets
 	// no registry of their own inherit it. Nil means obs.Default().
 	Metrics *obs.Registry
+	// Trace is the causal-tracing flight recorder: external interactions
+	// get TraceIDs minted from it, transport round trips record spans
+	// into it, and processes whose Config sets no recorder of their own
+	// inherit it. Nil means tracing off (the zero-cost default).
+	Trace *trace.Recorder
 }
 
 // NewUniverse creates a world rooted at cfg.Dir.
@@ -93,6 +99,10 @@ func NewUniverse(cfg UniverseConfig) (*Universe, error) {
 
 // Metrics returns the universe-level observability registry.
 func (u *Universe) Metrics() *obs.Registry { return u.metrics }
+
+// FlightRecorder returns the universe-level flight recorder (nil when
+// tracing is off).
+func (u *Universe) FlightRecorder() *trace.Recorder { return u.cfg.Trace }
 
 // Clock returns the universe's clock.
 func (u *Universe) Clock() disk.Clock { return u.cfg.Clock }

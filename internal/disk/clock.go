@@ -11,6 +11,7 @@ package disk
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,24 +76,25 @@ func (c *realClock) Sleep(d time.Duration) {
 }
 
 // VirtualClock never sleeps: Sleep advances the reading instantly. It
-// makes simulated-latency tests deterministic and fast. It is safe for
-// concurrent use, but concurrent sleepers serialize their advances (all
-// simulated time is additive), so it models a single-threaded timeline.
+// makes simulated-latency tests deterministic and fast. All simulated
+// time is additive — concurrent sleepers sum their advances — so it
+// models a single-threaded timeline. Both operations are wait-free
+// (one atomic on a nanosecond offset): Now sits on hot paths that read
+// the clock per span, and a lock here would serialize the whole
+// simulated world through one mutex.
 type VirtualClock struct {
-	mu  sync.Mutex
-	now time.Time
+	epoch  time.Time
+	offset atomic.Int64 // nanoseconds since epoch
 }
 
 // NewVirtualClock returns a virtual clock starting at an arbitrary epoch.
 func NewVirtualClock() *VirtualClock {
-	return &VirtualClock{now: time.Date(2004, 3, 30, 0, 0, 0, 0, time.UTC)}
+	return &VirtualClock{epoch: time.Date(2004, 3, 30, 0, 0, 0, 0, time.UTC)}
 }
 
 // Now returns the current virtual time.
 func (c *VirtualClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return c.epoch.Add(time.Duration(c.offset.Load()))
 }
 
 // Sleep advances virtual time by d without blocking.
@@ -100,7 +102,5 @@ func (c *VirtualClock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
+	c.offset.Add(int64(d))
 }

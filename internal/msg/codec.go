@@ -16,6 +16,15 @@
 //	outermost envelope — embedded copies inside log records use the
 //	bare body via AppendCall/ConsumeCall).
 //
+//	Traced Call  = 0xC6 TraceID SpanID body
+//	Traced Reply = 0xC7 TraceID SpanID body
+//
+// The traced envelopes (PR 6) prepend the causal-trace identity as two
+// uvarints before the unchanged bare body. Encoders emit them only for
+// a nonzero Trace, so untraced output stays bit-for-bit identical to
+// the 0xC1/0xC2 format and pre-trace peers keep decoding their own
+// streams.
+//
 //	Call body:  Machine bytes, Proc, Comp, Seq, Target bytes,
 //	            Method bytes, Args bytes, NumArgs, CallerType byte,
 //	            CallerURI bytes, flags byte (bit0 ReadOnly,
@@ -37,9 +46,16 @@ import "errors"
 const (
 	// verCall and verReply are the envelope version bytes. They must
 	// stay within 0x80..0xF7 (see package comment) so gob fallback
-	// detection stays sound.
+	// detection stays sound. 0xC3 (hot log records), 0xC4 (traced log
+	// records) and 0xC5 (serialized component state) are taken by
+	// internal/core and internal/serial.
 	verCall  = 0xC1
 	verReply = 0xC2
+	// verCallTraced and verReplyTraced frame envelopes that carry a
+	// causal-trace identity (uvarint TraceID + SpanID before the bare
+	// body). Same 0x80..0xF7 constraint.
+	verCallTraced  = 0xC6
+	verReplyTraced = 0xC7
 )
 
 // errShort reports a truncated or corrupt binary envelope.

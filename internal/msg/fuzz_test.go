@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ids"
+	"repro/internal/obs/trace"
 )
 
 // FuzzDecodeCall: arbitrary bytes must never panic the call decoder,
@@ -14,6 +15,12 @@ func FuzzDecodeCall(f *testing.F) {
 		Target: "phoenix://m/p/c", Method: "M", Args: []byte{1, 2}, NumArgs: 1,
 	})
 	f.Add(seed)
+	tracedSeed, _ := EncodeCall(&Call{
+		ID:     ids.CallID{Caller: ids.ComponentAddr{Machine: "m", Proc: 1, Comp: 2}, Seq: 4},
+		Target: "phoenix://m/p/c", Method: "M", Args: []byte{1, 2}, NumArgs: 1,
+		Trace:  trace.Ref{Trace: 0xBEEF0001, Span: 2},
+	})
+	f.Add(tracedSeed)
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -32,6 +39,9 @@ func FuzzDecodeCall(f *testing.F) {
 func FuzzDecodeReply(f *testing.F) {
 	seed, _ := EncodeReply(&Reply{Results: []byte{9}, NumResults: 1, AppErr: "x"})
 	f.Add(seed)
+	tracedSeed, _ := EncodeReply(&Reply{Results: []byte{9}, NumResults: 1,
+		Trace: trace.Ref{Trace: 0xBEEF0001, Span: 3}})
+	f.Add(tracedSeed)
 	f.Add([]byte{0xff, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeReply(data)

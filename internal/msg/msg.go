@@ -19,6 +19,7 @@ import (
 	"reflect"
 
 	"repro/internal/ids"
+	"repro/internal/obs/trace"
 )
 
 // ComponentType enumerates the Phoenix/App component kinds of
@@ -93,6 +94,12 @@ type Call struct {
 	// server's component type, so the reply attachment may be omitted
 	// (the Section 5.2.3 optimization).
 	KnowsServer bool
+
+	// Trace is the causal-trace identity of this call (zero when
+	// tracing is off or the caller predates it). It rides the traced
+	// envelope (0xC6), never the bare body, so untraced wire bytes are
+	// unchanged.
+	Trace trace.Ref
 }
 
 // Reply is a method-reply message (message 2/4 of Figure 1).
@@ -121,6 +128,10 @@ type Reply struct {
 	// MethodReadOnly reports that the invoked method carries the
 	// read-only attribute (Section 3.3).
 	MethodReadOnly bool
+
+	// Trace echoes the call's causal-trace identity (zero when the
+	// call was untraced); rides the traced envelope (0xC7) only.
+	Trace trace.Ref
 }
 
 // EncodeCall serializes a Call for the transport: the binary envelope
@@ -128,21 +139,39 @@ type Reply struct {
 // until it calls FreeBuf (callers that cannot prove release just skip
 // FreeBuf; see pool.go).
 func EncodeCall(c *Call) ([]byte, error) {
-	buf := append(GetBuf(), verCall)
+	var buf []byte
+	if c.Trace.IsZero() {
+		buf = append(GetBuf(), verCall)
+	} else {
+		buf = append(GetBuf(), verCallTraced)
+		buf = AppendUvarint(buf, c.Trace.Trace)
+		buf = AppendUvarint(buf, c.Trace.Span)
+	}
 	buf = AppendCall(buf, c)
 	codecMetrics.BytesOut.Add(int64(len(buf)))
 	return buf, nil
 }
 
 // DecodeCall deserializes a Call from the transport. A 0xC1 first byte
-// selects the binary envelope; anything else is an old-format gob
-// stream (gob streams cannot start with 0x80..0xF7) and falls back to
-// the legacy decoder, so mixed-version peers and old logs keep working.
+// selects the binary envelope, 0xC6 the traced one; anything else is
+// an old-format gob stream (gob streams cannot start with 0x80..0xF7)
+// and falls back to the legacy decoder, so mixed-version peers and old
+// logs keep working.
 func DecodeCall(data []byte) (*Call, error) {
 	codecMetrics.BytesIn.Add(int64(len(data)))
-	if len(data) > 0 && data[0] == verCall {
+	if len(data) > 0 && (data[0] == verCall || data[0] == verCallTraced) {
 		var c Call
-		rest, err := ConsumeCall(data[1:], &c)
+		body := data[1:]
+		if data[0] == verCallTraced {
+			var err error
+			if c.Trace.Trace, body, err = ConsumeUvarint(body); err != nil {
+				return nil, fmt.Errorf("msg: decode call trace: %w", err)
+			}
+			if c.Trace.Span, body, err = ConsumeUvarint(body); err != nil {
+				return nil, fmt.Errorf("msg: decode call trace: %w", err)
+			}
+		}
+		rest, err := ConsumeCall(body, &c)
 		if err != nil {
 			return nil, fmt.Errorf("msg: decode call: %w", err)
 		}
@@ -160,19 +189,36 @@ func DecodeCall(data []byte) (*Call, error) {
 // (transport delivery, the last-call reply table), so no call site can
 // prove release.
 func EncodeReply(r *Reply) ([]byte, error) {
-	buf := append(make([]byte, 0, 64+len(r.Results)), verReply)
+	buf := make([]byte, 0, 64+len(r.Results))
+	if r.Trace.IsZero() {
+		buf = append(buf, verReply)
+	} else {
+		buf = append(buf, verReplyTraced)
+		buf = AppendUvarint(buf, r.Trace.Trace)
+		buf = AppendUvarint(buf, r.Trace.Span)
+	}
 	buf = AppendReply(buf, r)
 	codecMetrics.BytesOut.Add(int64(len(buf)))
 	return buf, nil
 }
 
 // DecodeReply deserializes a Reply from the transport, with the same
-// gob fallback as DecodeCall.
+// traced-envelope dispatch and gob fallback as DecodeCall.
 func DecodeReply(data []byte) (*Reply, error) {
 	codecMetrics.BytesIn.Add(int64(len(data)))
-	if len(data) > 0 && data[0] == verReply {
+	if len(data) > 0 && (data[0] == verReply || data[0] == verReplyTraced) {
 		var r Reply
-		rest, err := ConsumeReply(data[1:], &r)
+		body := data[1:]
+		if data[0] == verReplyTraced {
+			var err error
+			if r.Trace.Trace, body, err = ConsumeUvarint(body); err != nil {
+				return nil, fmt.Errorf("msg: decode reply trace: %w", err)
+			}
+			if r.Trace.Span, body, err = ConsumeUvarint(body); err != nil {
+				return nil, fmt.Errorf("msg: decode reply trace: %w", err)
+			}
+		}
+		rest, err := ConsumeReply(body, &r)
 		if err != nil {
 			return nil, fmt.Errorf("msg: decode reply: %w", err)
 		}

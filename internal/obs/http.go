@@ -28,18 +28,31 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// Mount pairs an extra handler with the path to serve it at, so
+// subsystems outside obs (the trace flight recorder's
+// /debug/phoenixtrace) can ride on the same debug endpoint without obs
+// importing them.
+type Mount struct {
+	Path    string
+	Handler http.Handler
+}
+
 // StartDebugServer listens on addr (e.g. "127.0.0.1:6060"; port 0 picks
 // a free one) and serves r at DebugPath, plus the standard pprof
 // profiling endpoints under /debug/pprof/ (the server uses its own mux,
 // so net/http/pprof's DefaultServeMux registrations must be re-homed
-// here). The server runs on its own goroutine until Close.
-func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+// here) and any extra mounts. The server runs on its own goroutine
+// until Close.
+func StartDebugServer(addr string, r *Registry, mounts ...Mount) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle(DebugPath, Handler(r))
+	for _, m := range mounts {
+		mux.Handle(m.Path, m.Handler)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -161,7 +161,48 @@ const (
 	// CodecLegacyDecodes counts envelopes and records decoded through
 	// the gob fallback path (pre-binary-codec format).
 	CodecLegacyDecodes = "codec.legacy_decodes"
+
+	// --- causal tracing (internal/obs/trace). The stage histograms are
+	// per-leg latency distributions of traced interactions in
+	// universe-clock microseconds — under a scaled or virtual bench
+	// clock they are model time, unlike the wallclock-allowlisted
+	// serve/rpc histograms. ---
+
+	// TraceSpans counts spans recorded into flight recorders.
+	TraceSpans = "trace.spans"
+	// TraceRingOverwrites counts spans that displaced an older span
+	// from a full ring — a rising rate means the ring is undersized
+	// for the retention you want at crash time.
+	TraceRingOverwrites = "trace.ring_overwrites"
+
+	TraceClientInterceptMicros = "trace.stage.client_intercept_micros"
+	TraceTransportMicros       = "trace.stage.transport_micros"
+	TraceServerInterceptMicros = "trace.stage.server_intercept_micros"
+	TraceWALAppendMicros       = "trace.stage.wal_append_micros"
+	TraceSyncWaitMicros        = "trace.stage.sync_wait_micros"
+	TraceExecuteMicros         = "trace.stage.execute_micros"
+	TraceReplyMicros           = "trace.stage.reply_micros"
+	TraceClientResumeMicros    = "trace.stage.client_resume_micros"
+	TraceRecoveryScanMicros    = "trace.stage.recovery_scan_micros"
+	TraceReplayQueueWaitMicros = "trace.stage.replay_queue_wait_micros"
+	TraceReplayMicros          = "trace.stage.replay_micros"
 )
+
+// TraceStageMicros lists the per-stage trace histograms in pipeline
+// order, for breakdown reports (phoenix-bench -trace, phoenix-trace).
+var TraceStageMicros = []string{
+	TraceClientInterceptMicros,
+	TraceTransportMicros,
+	TraceServerInterceptMicros,
+	TraceWALAppendMicros,
+	TraceSyncWaitMicros,
+	TraceExecuteMicros,
+	TraceReplyMicros,
+	TraceClientResumeMicros,
+	TraceRecoveryScanMicros,
+	TraceReplayQueueWaitMicros,
+	TraceReplayMicros,
+}
 
 // WALMetrics pre-resolves the device-boundary metrics for the log
 // manager's hot path. All fields of the view returned for a nil
@@ -221,6 +262,48 @@ func CodecView(r *Registry) *CodecMetrics {
 		PoolHits:      r.Counter(CodecPoolHits),
 		PoolMisses:    r.Counter(CodecPoolMisses),
 		LegacyDecodes: r.Counter(CodecLegacyDecodes),
+	}
+}
+
+// TraceMetrics pre-resolves the trace.* bundle for the flight
+// recorder's hot path: the span/overwrite counters and one latency
+// histogram per stage (the trace package maps them into an array
+// indexed by its Stage enum). Nil-registry views are all-nil and the
+// update methods tolerate it.
+type TraceMetrics struct {
+	Spans          *Counter
+	RingOverwrites *Counter
+
+	ClientInterceptMicros *Histogram
+	TransportMicros       *Histogram
+	ServerInterceptMicros *Histogram
+	WALAppendMicros       *Histogram
+	SyncWaitMicros        *Histogram
+	ExecuteMicros         *Histogram
+	ReplyMicros           *Histogram
+	ClientResumeMicros    *Histogram
+	RecoveryScanMicros    *Histogram
+	ReplayQueueWaitMicros *Histogram
+	ReplayMicros          *Histogram
+}
+
+// TraceView resolves the trace.* bundle from r.
+func TraceView(r *Registry) *TraceMetrics {
+	return &TraceMetrics{
+		Spans:          r.Counter(TraceSpans),
+		RingOverwrites: r.Counter(TraceRingOverwrites),
+
+		ClientInterceptMicros: r.Histogram(TraceClientInterceptMicros),
+		TransportMicros:       r.Histogram(TraceTransportMicros),
+		ServerInterceptMicros: r.Histogram(TraceServerInterceptMicros),
+		WALAppendMicros:       r.Histogram(TraceWALAppendMicros),
+		SyncWaitMicros:        r.Histogram(TraceSyncWaitMicros),
+		ExecuteMicros:         r.Histogram(TraceExecuteMicros),
+		ReplyMicros:           r.Histogram(TraceReplyMicros),
+		ClientResumeMicros:    r.Histogram(TraceClientResumeMicros),
+		RecoveryScanMicros:    r.Histogram(TraceRecoveryScanMicros),
+		ReplayQueueWaitMicros: r.Histogram(TraceReplayQueueWaitMicros),
+		ReplayMicros:          r.Histogram(TraceReplayMicros),
 	}
 }
 

@@ -24,6 +24,45 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile approximates the q-quantile (q in [0,1]) of the observed
+// values as the midpoint of the power-of-two bucket holding the
+// rank-q observation (bucket i holds values v with bits.Len64(v) == i,
+// i.e. [2^(i-1), 2^i)). Resolution is a factor of two — enough for
+// p50/p99 stage breakdowns, not for tight SLO math. Returns 0 when
+// empty.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.Count-1)) + 1 // 1-based rank of the target observation
+	var seen int64
+	for i := 0; i < 64; i++ {
+		n := h.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0 // bucket 0 holds only the value 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(1)<<uint(i) - 1
+			if h.Max > 0 && hi > h.Max {
+				hi = h.Max
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.Max
+}
+
 // Sub returns the histogram activity since base. Max is carried from
 // the newer snapshot (a maximum cannot be un-observed).
 func (h HistogramSnapshot) Sub(base HistogramSnapshot) HistogramSnapshot {

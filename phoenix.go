@@ -45,6 +45,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 )
@@ -142,6 +143,49 @@ type (
 	// snapshots for per-run deltas.
 	MetricsSnapshot = obs.Snapshot
 )
+
+// Causal tracing: every external call gets a TraceID that rides the
+// wire envelopes and the hot log records; stage spans land in a
+// crash-surviving lock-free flight recorder (see internal/obs/trace).
+type (
+	// TraceRecorder is the per-process (or per-universe) flight
+	// recorder. Pass one in UniverseConfig.Trace or Config.Trace; nil
+	// disables tracing at zero cost.
+	TraceRecorder = trace.Recorder
+	// TraceOptions configures NewTraceRecorder: ring size, metrics
+	// registry for trace.* histograms, and the clock.
+	TraceOptions = trace.Options
+	// TraceRef identifies a span within a trace.
+	TraceRef = trace.Ref
+	// TraceSpan is one recorded stage span (Recorder.Snapshot, dumps).
+	TraceSpan = trace.Span
+	// TraceStage enumerates the instrumented pipeline legs.
+	TraceStage = trace.Stage
+	// Timeline is one trace's merged record/span history.
+	Timeline = core.Timeline
+	// TimelineEvent is one entry of a Timeline.
+	TimelineEvent = core.TimelineEvent
+)
+
+// NewTraceRecorder builds a flight recorder. Wire Options.Now to the
+// universe clock so spans are timestamped in model time.
+func NewTraceRecorder(o TraceOptions) *TraceRecorder { return trace.NewRecorder(o) }
+
+// TraceTimelines merges recovery-log scans with flight-recorder dumps
+// into per-trace timelines (what phoenix-trace renders). The logs must
+// not be owned by live processes.
+func TraceTimelines(logs, dumps []string) ([]Timeline, error) {
+	return core.TraceTimelines(logs, dumps)
+}
+
+// DiscoverTraceFiles finds the process logs and flight-recorder dumps
+// under a universe (or machine) directory.
+func DiscoverTraceFiles(dir string) (logs, dumps []string, err error) {
+	return core.DiscoverTraceFiles(dir)
+}
+
+// WriteTimelines renders timelines as text.
+func WriteTimelines(w io.Writer, tls []Timeline) { core.WriteTimelines(w, tls) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
