@@ -1,8 +1,8 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress bench bench-smoke
+.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress shard-stress bench bench-smoke
 
-ci: vet lint build test race stress recovery-stress
+ci: vet lint build test race stress recovery-stress shard-stress
 
 vet:
 	go vet ./...
@@ -45,6 +45,15 @@ stress:
 recovery-stress:
 	go test -race -count=2 -run 'ParallelRecovery|ScanFrom' ./internal/core/ ./internal/wal/
 	go test -race -count=2 -run 'SellerParallelRecovery' ./internal/bookstore/
+
+# Sharded-log stress under the race detector: the wal.Set unit suite,
+# the shards-1/4/8 serial-vs-parallel recovery equivalence and
+# mixed-era upgrade tests, and a concurrent group-commit run against a
+# 4-shard log (per-shard flushers appending and syncing in parallel).
+shard-stress:
+	go test -race -count=2 -run 'OpenSet|SetSync|SetDiscard|WellKnownMarks' ./internal/wal/
+	go test -race -count=2 -run 'ShardedRecoveryEquivalence|MixedEraRecovery' ./internal/core/
+	go run ./cmd/phoenix-bench -experiment groupcommit -scale 0.02 -calls 20 -concurrency 8 -wal-shards 4
 
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30

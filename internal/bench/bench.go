@@ -41,6 +41,11 @@ type Options struct {
 	// RecoveryParallelism is the largest Config.Recovery.Parallelism
 	// the recovery experiment sweeps to (0, 1, 2, ... up to it).
 	RecoveryParallelism int
+	// WALShards is the Config.WAL.Shards value the concurrent
+	// experiments run the server's log with: 1 (the default) is the
+	// single-stream log; higher values partition appends and forces
+	// across that many shard streams.
+	WALShards int
 	// Seed drives the network jitter.
 	Seed int64
 	// Dir is scratch space for logs; empty uses a temp dir per run.
@@ -68,6 +73,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.RecoveryParallelism <= 0 {
 		o.RecoveryParallelism = 8
+	}
+	if o.WALShards <= 0 {
+		o.WALShards = 1
 	}
 	if o.Seed == 0 {
 		o.Seed = 20040330

@@ -31,7 +31,7 @@ func (cx *Context) saveStateLocked() error {
 	saved := make([]lastCallSaved, 0, len(entries))
 	for _, e := range entries {
 		if e.replyLSN.IsNil() && e.reply != nil {
-			lsn, err := p.appendRec(recReplyContent, &replyContentRec{
+			lsn, err := p.appendRec(recReplyContent, cx.parent.id, &replyContentRec{
 				Ctx:    cx.parent.id,
 				CallID: ids.CallID{Caller: e.caller, Seq: e.seq},
 				Reply:  *e.reply,
@@ -51,7 +51,7 @@ func (cx *Context) saveStateLocked() error {
 	if err != nil {
 		return err
 	}
-	lsn, err := p.appendRec(recCtxState, &ctxStateRec{
+	lsn, err := p.appendRec(recCtxState, cx.parent.id, &ctxStateRec{
 		Ctx:        cx.parent.id,
 		URI:        cx.uri,
 		Comps:      comps,
@@ -94,9 +94,22 @@ func (p *Process) Checkpoint() error {
 // concurrency, and readers "examine all the log records between the
 // begin checkpoint and end checkpoint record".
 func (p *Process) checkpointLocked() error {
-	begin, err := p.appendRec(recBeginCkpt, &struct{}{})
+	begin, err := p.appendRec(recBeginCkpt, 0, &struct{}{})
 	if err != nil {
 		return err
+	}
+	// On a sharded log, snapshot every stream's append position now:
+	// records past these positions postdate the checkpoint, so the
+	// well-known watermark vector may default each stream to its
+	// snapshot (recovery rescans everything later). Records before a
+	// snapshot belong to contexts whose restart LSNs constrain the
+	// vector downward when it is published (see wellKnownMarks).
+	var ends map[uint32]ids.LSN
+	if shards := p.log.Shards(); len(shards) > 1 || shards[0].Stream != 0 {
+		ends = make(map[uint32]ids.LSN, len(shards))
+		for _, sh := range shards {
+			ends[sh.Stream] = sh.Log.End()
+		}
 	}
 
 	// Stateless contexts never write state records, so their original
@@ -121,7 +134,7 @@ func (p *Process) checkpointLocked() error {
 		if err != nil {
 			return err
 		}
-		lsn, err := p.appendRec(recCreation, rec)
+		lsn, err := p.appendRec(recCreation, cx.parent.id, rec)
 		if err != nil {
 			return err
 		}
@@ -139,15 +152,15 @@ func (p *Process) checkpointLocked() error {
 		entries = append(entries, ckptCtxEntry{Ctx: id, RestartLSN: cx.restartLSN})
 	}
 	p.mu.Unlock()
-	if _, err := p.appendRec(recCkptCtxTable, &ckptCtxTableRec{Entries: entries}); err != nil {
+	if _, err := p.appendRec(recCkptCtxTable, 0, &ckptCtxTableRec{Entries: entries}); err != nil {
 		return err
 	}
 
-	if _, err := p.appendRec(recCkptLastCall, &ckptLastCallRec{Entries: p.lastCalls.snapshot()}); err != nil {
+	if _, err := p.appendRec(recCkptLastCall, 0, &ckptLastCallRec{Entries: p.lastCalls.snapshot()}); err != nil {
 		return err
 	}
 
-	end, err := p.appendRec(recEndCkpt, &endCkptRec{BeginLSN: begin})
+	end, err := p.appendRec(recEndCkpt, 0, &endCkptRec{BeginLSN: begin})
 	if err != nil {
 		return err
 	}
@@ -158,6 +171,7 @@ func (p *Process) checkpointLocked() error {
 	p.ckptMu.Lock()
 	p.pendingCkpt = begin
 	p.pendingCkptEnd = end
+	p.pendingCkptEnds = ends
 	p.ckptMu.Unlock()
 	p.obs.Checkpoints.Inc()
 	p.emitEvent(Event{Kind: EventCheckpoint, LSN: begin,

@@ -28,6 +28,25 @@ import (
 // and MaxBatch mean 200µs and 64.
 type GroupCommit = wal.GroupCommitConfig
 
+// WALConfig shapes the process's write-ahead log layout
+// (Config.WAL). The zero value is a single-stream log, bit-for-bit
+// today's on-disk format.
+type WALConfig struct {
+	// Shards partitions the log into N shard streams keyed by the
+	// appending context's CompID: each shard owns its own files,
+	// append mutex, group-commit flusher and synced watermark, so
+	// appends and forces from different contexts stop serializing on
+	// one mutex and one device file. 0 or 1 keeps the single-stream
+	// log. Restarting an already-sharded log with 0 or 1 keeps its
+	// on-disk layout; any other mismatch reshards in place (old
+	// records stay where they are — recovery reads every era).
+	Shards int
+	// GroupCommit configures each shard's flusher. The zero value
+	// falls back to the legacy top-level Config.GroupCommit, so
+	// existing callers keep working unchanged.
+	GroupCommit GroupCommit
+}
+
 // Recovery configures crash recovery's replay engine (Config.Recovery).
 // Pass 1 (finding contexts and restart LSNs) is always a single
 // sequential scan — it is cheap and builds the maps Pass 2 needs. With
@@ -114,8 +133,13 @@ type Config struct {
 	// replacing the direct path's opportunistic piggybacking with a
 	// deliberate commit window. Worth turning on when many contexts
 	// (or external clients) commit concurrently against one process
-	// log; a lone caller only pays the window latency.
+	// log; a lone caller only pays the window latency. WAL.GroupCommit
+	// takes precedence when set.
 	GroupCommit GroupCommit
+	// WAL shapes the log layout: shard count and per-shard group
+	// commit. The zero value is the single-stream log, bit-for-bit
+	// today's format.
+	WAL WALConfig
 	// Recovery parallelizes crash recovery's Pass 2 by context: a
 	// single reader demultiplexes the log into per-context replay
 	// queues drained by a bounded worker pool. The zero value keeps
@@ -190,4 +214,13 @@ func (c Config) retryLimit() int {
 		return c.RetryLimit
 	}
 	return defaultRetryLimit
+}
+
+// effectiveGroupCommit resolves the flusher config: WAL.GroupCommit
+// when enabled, else the legacy top-level GroupCommit.
+func (c Config) effectiveGroupCommit() GroupCommit {
+	if c.WAL.GroupCommit.Enabled {
+		return c.WAL.GroupCommit
+	}
+	return c.GroupCommit
 }

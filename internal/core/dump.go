@@ -26,20 +26,46 @@ import (
 // "forced"; the actual force count is runtime state the log does not
 // store, so the summary reports the implied minimum.
 func DumpLog(w io.Writer, dir string) error {
-	log, err := wal.Open(dir, nil)
+	var log wal.Writer
+	var err error
+	if wal.IsSharded(dir) {
+		log, err = wal.OpenSet(dir, nil, 0)
+	} else {
+		log, err = wal.Open(dir, nil)
+	}
 	if err != nil {
 		return err
 	}
 	defer log.Close()
 
-	fmt.Fprintf(w, "log %s: LSNs %v..%v\n", dir, log.Start(), log.End())
-	// The process stores the well-known LSN next to the log directory:
-	// <name>.wk beside <name>.log (see Process.wkPath).
-	wk := ids.NilLSN
+	shards := log.Shards()
+	if len(shards) == 1 {
+		l := shards[0].Log
+		fmt.Fprintf(w, "log %s: LSNs %v..%v\n", dir, l.Start(), l.End())
+	} else {
+		fmt.Fprintf(w, "log %s: %d shards\n", dir, len(shards))
+		for _, sh := range shards {
+			fmt.Fprintf(w, "  shard %d (era %d): LSNs %v..%v\n",
+				sh.Stream, sh.Era, sh.Log.Start(), sh.Log.End())
+		}
+	}
+	// The process stores the well-known watermark next to the log
+	// directory: <name>.wk beside <name>.log (see Process.wkPath).
+	var marks map[uint32]ids.LSN
 	for _, path := range []string{strings.TrimSuffix(dir, ".log") + ".wk", dir + ".wk"} {
-		if k, err := wal.LoadWellKnownLSN(path); err == nil {
-			wk = k
-			fmt.Fprintf(w, "well-known checkpoint LSN: %v\n", wk)
+		if m, err := wal.LoadWellKnownMarks(path); err == nil {
+			marks = m
+			if k, ok := m[0]; ok && len(m) == 1 {
+				fmt.Fprintf(w, "well-known checkpoint LSN: %v\n", k)
+			} else {
+				fmt.Fprintf(w, "well-known checkpoint marks:")
+				for _, sh := range shards {
+					if k, ok := m[sh.Stream]; ok {
+						fmt.Fprintf(w, " %d=%v", sh.Stream, k)
+					}
+				}
+				fmt.Fprintln(w)
+			}
 			break
 		}
 	}
@@ -49,26 +75,29 @@ func DumpLog(w io.Writer, dir string) error {
 	// like a live metrics snapshot of this log's history.
 	reg := obs.NewRegistry()
 	records, impliedForces := 0, 0
-	err = log.Scan(ids.NilLSN, func(rec wal.Record) error {
-		records++
-		reg.Counter(recMetricName(rec.Type)).Inc()
-		status := "replay"
-		if !wk.IsNil() && rec.LSN < wk {
-			status = "ckpt'd"
+	for _, sh := range shards {
+		wk := marks[sh.Stream]
+		err = sh.Log.Scan(ids.NilLSN, func(rec wal.Record) error {
+			records++
+			reg.Counter(recMetricName(rec.Type)).Inc()
+			status := "replay"
+			if !wk.IsNil() && rec.LSN < wk {
+				status = "ckpt'd"
+			}
+			if forcedKind(rec.Type) {
+				impliedForces++
+				status += "+forced"
+			}
+			fmt.Fprintf(w, "%-12v %-14s %-13s %5dB  ", rec.LSN, recName(rec.Type), status, len(rec.Payload))
+			if err := dumpPayload(w, rec); err != nil {
+				fmt.Fprintf(w, "<undecodable: %v>", err)
+			}
+			fmt.Fprintln(w)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		if forcedKind(rec.Type) {
-			impliedForces++
-			status += "+forced"
-		}
-		fmt.Fprintf(w, "%-12v %-14s %-13s %5dB  ", rec.LSN, recName(rec.Type), status, len(rec.Payload))
-		if err := dumpPayload(w, rec); err != nil {
-			fmt.Fprintf(w, "<undecodable: %v>", err)
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	if err != nil {
-		return err
 	}
 
 	fmt.Fprintf(w, "\nsummary: %d records, >=%d forces implied by record kinds\n",

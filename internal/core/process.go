@@ -31,7 +31,7 @@ type Process struct {
 	cfg    Config
 	addr   string
 
-	log     *wal.Log
+	log     wal.Writer
 	logPath string
 	wkPath  string
 
@@ -76,12 +76,18 @@ type Process struct {
 	// pendingCkpt is the begin-LSN of a checkpoint written but not yet
 	// covered by a force; the first force whose stable watermark moves
 	// past pendingCkptEnd (the end-checkpoint record) writes the
-	// well-known file (Section 4.3). lastWK is the last LSN recorded
-	// there — recovery scans from it, so log trimming must keep it.
-	ckptMu         sync.Mutex
-	pendingCkpt    ids.LSN
-	pendingCkptEnd ids.LSN
-	lastWK         ids.LSN
+	// well-known file (Section 4.3). On a sharded log pendingCkptEnds
+	// snapshots each stream's append position when the checkpoint
+	// began: records past those positions postdate the checkpoint and
+	// are always rescanned, so the per-stream watermark can default to
+	// them. lastMarks is the vector last recorded in the well-known
+	// file — recovery scans from it, so log trimming must keep it
+	// ({0: lsn} on a single-stream log, exactly the legacy protocol).
+	ckptMu          sync.Mutex
+	pendingCkpt     ids.LSN
+	pendingCkptEnd  ids.LSN
+	pendingCkptEnds map[uint32]ids.LSN
+	lastMarks       map[uint32]ids.LSN
 }
 
 // component is one row of the component table (paper Table 1).
@@ -101,7 +107,17 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		model = m.u.cfg.DiskModel(m.name, name)
 	}
 	logPath := filepath.Join(m.dir, name+".log")
-	log, err := wal.Open(logPath, model)
+	// Config.WAL.Shards > 1 asks for a sharded log; an already-sharded
+	// directory stays sharded regardless of config (a restart with the
+	// zero config must keep reading every stream). Everything else is a
+	// plain single-stream Log, bit-for-bit the legacy format.
+	var log wal.Writer
+	var err error
+	if cfg.WAL.Shards > 1 || wal.IsSharded(logPath) {
+		log, err = wal.OpenSet(logPath, model, cfg.WAL.Shards)
+	} else {
+		log, err = wal.Open(logPath, model)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +132,7 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 	}
 	// The flusher's commit window sleeps on the universe clock, so a
 	// virtual clock drives group commit deterministically in tests.
-	log.StartGroupCommit(cfg.GroupCommit, m.u.cfg.Clock)
+	log.StartGroupCommit(cfg.effectiveGroupCommit(), m.u.cfg.Clock)
 	p := &Process{
 		u:            m.u,
 		m:            m,
@@ -181,6 +197,24 @@ func (p *Process) setLastRecovery(s RecoveryStats) {
 // LogStats exposes the log activity counters (forces per experiment,
 // Table 8's "Number of Forces").
 func (p *Process) LogStats() wal.Stats { return p.log.Stats() }
+
+// ShardLogStat pairs one log shard's stream ID with its counters.
+type ShardLogStat struct {
+	Stream uint32
+	Stats  wal.Stats
+}
+
+// ShardLogStats exposes the per-shard log counters in era order. A
+// single-stream log reports one entry; the bench harness uses the
+// per-shard BusyNanos split to bound partitioned-log throughput.
+func (p *Process) ShardLogStats() []ShardLogStat {
+	shards := p.log.Shards()
+	out := make([]ShardLogStat, 0, len(shards))
+	for _, sh := range shards {
+		out = append(out, ShardLogStat{Stream: sh.Stream, Stats: sh.Log.Stats()})
+	}
+	return out
+}
 
 // LogDir returns the process's recovery-log directory (for
 // phoenix-logdump and operational tooling).
@@ -292,7 +326,7 @@ func (p *Process) Create(name string, obj any, opts ...CreateOption) (*Handle, e
 	if err != nil {
 		return nil, err
 	}
-	lsn, err := p.appendRec(recCreation, rec)
+	lsn, err := p.appendRec(recCreation, parent.id, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -424,18 +458,86 @@ func (p *Process) completeCheckpoint() error {
 		p.ckptMu.Unlock()
 		return nil
 	}
-	p.pendingCkpt, p.pendingCkptEnd = ids.NilLSN, ids.NilLSN
+	ends := p.pendingCkptEnds
+	p.pendingCkpt, p.pendingCkptEnd, p.pendingCkptEnds = ids.NilLSN, ids.NilLSN, nil
 	p.ckptMu.Unlock()
-	if err := wal.SaveWellKnownLSN(p.wkPath, begin); err != nil {
+	marks := p.wellKnownMarks(begin, ends)
+	if err := wal.SaveWellKnownMarks(p.wkPath, marks); err != nil {
 		return err
 	}
 	p.ckptMu.Lock()
-	p.lastWK = begin
+	p.lastMarks = marks
 	p.ckptMu.Unlock()
 	if p.cfg.AutoTrimLog {
 		return p.TrimLog()
 	}
 	return nil
+}
+
+// wellKnownMarks computes the checkpoint watermark vector the
+// well-known file records: for each stream, a position recovery's
+// pass-1 scan of that stream may start from. A single-stream log gets
+// exactly the legacy protocol — the begin-checkpoint LSN. A sharded
+// log starts each stream at its append position when the checkpoint
+// began (everything later postdates the checkpoint and is rescanned)
+// and lowers it to any restart LSN, reply-content LSN or cross-era
+// floor that recovery still needs (constrainMarks).
+func (p *Process) wellKnownMarks(begin ids.LSN, ends map[uint32]ids.LSN) map[uint32]ids.LSN {
+	shards := p.log.Shards()
+	if len(shards) == 1 && shards[0].Stream == 0 {
+		return map[uint32]ids.LSN{0: begin}
+	}
+	marks := make(map[uint32]ids.LSN, len(shards))
+	starts := make(map[uint32]ids.LSN, len(shards))
+	for _, sh := range shards {
+		starts[sh.Stream] = sh.Log.Start()
+		if e, ok := ends[sh.Stream]; ok {
+			marks[sh.Stream] = e
+		} else {
+			// Stream unknown when the checkpoint began (resharded
+			// since): recovery must see all of it.
+			marks[sh.Stream] = starts[sh.Stream]
+		}
+	}
+	lowerMark(marks, begin.Stream(), begin)
+	p.constrainMarks(marks, starts)
+	return marks
+}
+
+// lowerMark moves a present stream's mark down to l; absent streams
+// stay absent (trim callers must not invent streams they cannot keep).
+func lowerMark(marks map[uint32]ids.LSN, stream uint32, l ids.LSN) {
+	if cur, ok := marks[stream]; ok && l < cur {
+		marks[stream] = l
+	}
+}
+
+// constrainMarks lowers marks to the recovery-needs floor: every live
+// context's restart LSN (in the restart's own stream), the start of
+// any later-era stream that may hold a context's records while its
+// restart points at an older stream (recovery must scan such streams
+// from the beginning — the context's records there cannot be bounded
+// by its restart LSN), and every last-call entry's reply-content LSN
+// (duplicate replies are served from the log). Streams absent from
+// marks are left absent.
+func (p *Process) constrainMarks(marks, starts map[uint32]ids.LSN) {
+	p.mu.Lock()
+	for _, cx := range p.contexts {
+		r := cx.restartLSN
+		if r.IsNil() {
+			continue
+		}
+		lowerMark(marks, r.Stream(), r)
+		for _, s := range p.log.StreamsFor(uint64(cx.parent.id)) {
+			if s > r.Stream() {
+				lowerMark(marks, s, starts[s])
+			}
+		}
+	}
+	p.mu.Unlock()
+	for s, l := range p.lastCalls.minReplyLSNByStream() {
+		lowerMark(marks, s, l)
+	}
 }
 
 // TrimLog reclaims the dead log prefix: everything before the oldest
@@ -445,51 +547,74 @@ func (p *Process) completeCheckpoint() error {
 // Config.AutoTrimLog it runs automatically whenever a process
 // checkpoint becomes durable.
 func (p *Process) TrimLog() error {
-	keep := p.reclaimPoint()
-	if keep.IsNil() {
+	keeps := p.reclaimPoints()
+	if len(keeps) == 0 {
 		return nil
 	}
 	before := p.log.Stats().TrimmedBytes
-	if err := p.log.TrimHead(keep); err != nil {
-		return err
+	streams := make([]uint32, 0, len(keeps))
+	for s := range keeps {
+		streams = append(streams, s)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	low := ids.NilLSN
+	for _, s := range streams {
+		keep := keeps[s]
+		if keep.IsNil() {
+			continue
+		}
+		if low.IsNil() || keep < low {
+			low = keep
+		}
+		if err := p.log.TrimHead(keep); err != nil {
+			return err
+		}
 	}
 	if got := p.log.Stats().TrimmedBytes - before; got > 0 {
 		p.obs.Trims.Inc()
-		p.emitEvent(Event{Kind: EventTrim, LSN: keep,
-			Detail: fmt.Sprintf("reclaimed %d bytes up to %v", got, keep)})
+		p.emitEvent(Event{Kind: EventTrim, LSN: low,
+			Detail: fmt.Sprintf("reclaimed %d bytes up to %v", got, low)})
 	}
 	return nil
 }
 
-func (p *Process) reclaimPoint() ids.LSN {
+// reclaimPoints returns the per-stream trim floors: each stream's
+// saved well-known mark, lowered to anything recovery could still
+// need now (current restart LSNs, reply-content LSNs, cross-era
+// floors). Streams with no saved mark are absent — they were unknown
+// at the last durable checkpoint, so recovery scans them from the
+// start and nothing in them may be trimmed.
+func (p *Process) reclaimPoints() map[uint32]ids.LSN {
 	p.ckptMu.Lock()
-	min := p.lastWK
+	last := p.lastMarks
 	p.ckptMu.Unlock()
-	if min.IsNil() {
+	if len(last) == 0 {
 		// No durable checkpoint yet: recovery scans from the start.
-		return ids.NilLSN
+		return nil
 	}
-	p.mu.Lock()
-	for _, cx := range p.contexts {
-		if !cx.restartLSN.IsNil() && cx.restartLSN < min {
-			min = cx.restartLSN
-		}
+	keeps := make(map[uint32]ids.LSN, len(last))
+	for s, l := range last {
+		keeps[s] = l
 	}
-	p.mu.Unlock()
-	if lct := p.lastCalls.minReplyLSN(); !lct.IsNil() && lct < min {
-		min = lct
+	starts := make(map[uint32]ids.LSN)
+	for _, sh := range p.log.Shards() {
+		starts[sh.Stream] = sh.Log.Start()
 	}
-	return min
+	p.constrainMarks(keeps, starts)
+	return keeps
 }
 
 // appendRec encodes and appends a typed record, accounting it to the
 // per-kind record counters (the paper's message kinds 1-4 plus the
-// creation/state/checkpoint records). Hot records encode straight into
-// the log's scratch buffer (wal.AppendInto + the binary payload codec),
-// so the per-call append allocates nothing; a traced record also drops
-// a StageWALAppend span (the traceable assertion reads the existing
-// interface value, so the span costs no allocation either).
-func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
+// creation/state/checkpoint records). key routes the record on a
+// sharded log: the owning context's CompID for per-context records,
+// 0 (the meta stream) for process-wide checkpoint records. Hot
+// records implement wal.PayloadEncoder themselves and encode straight
+// into the log's scratch buffer, so the per-call append allocates
+// nothing (the assertion reads the existing interface value); cold
+// record types fall back to a one-off closure. A traced record also
+// drops a StageWALAppend span.
+func (p *Process) appendRec(t wal.RecordType, key ids.CompID, v any) (ids.LSN, error) {
 	var tref trace.Ref
 	var tstart int64
 	if p.tr != nil {
@@ -499,9 +624,13 @@ func (p *Process) appendRec(t wal.RecordType, v any) (ids.LSN, error) {
 			}
 		}
 	}
-	lsn, err := p.log.AppendInto(t, func(dst []byte) ([]byte, error) {
-		return appendRecInto(dst, t, v)
-	})
+	enc, ok := v.(wal.PayloadEncoder)
+	if !ok {
+		enc = wal.EncodeFunc(func(dst []byte) ([]byte, error) {
+			return appendRecInto(dst, t, v)
+		})
+	}
+	lsn, err := p.log.AppendInto(uint64(key), t, enc)
 	if err == nil {
 		p.recCounter(t).Inc()
 		if !tref.IsZero() {

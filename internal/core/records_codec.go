@@ -214,3 +214,35 @@ func hotRecord(v any) bool {
 	}
 	return false
 }
+
+// The hot record types implement wal.PayloadEncoder directly, so
+// appendRec hands the log an interface value that already exists (the
+// record pointer) instead of wrapping a fresh closure per append —
+// the assertion is what keeps the per-call append path at zero
+// allocations. Each delegates to appendRecInto, so the legacy-format
+// test hook and the gob fallback apply unchanged.
+
+// AppendPayload implements wal.PayloadEncoder.
+func (r *incomingRec) AppendPayload(dst []byte) ([]byte, error) {
+	return appendRecInto(dst, recIncoming, r)
+}
+
+// AppendPayload implements wal.PayloadEncoder.
+func (r *replySentRec) AppendPayload(dst []byte) ([]byte, error) {
+	return appendRecInto(dst, recReplySent, r)
+}
+
+// AppendPayload implements wal.PayloadEncoder.
+func (r *replyContentRec) AppendPayload(dst []byte) ([]byte, error) {
+	return appendRecInto(dst, recReplyContent, r)
+}
+
+// AppendPayload implements wal.PayloadEncoder.
+func (r *outgoingRec) AppendPayload(dst []byte) ([]byte, error) {
+	return appendRecInto(dst, recOutgoing, r)
+}
+
+// AppendPayload implements wal.PayloadEncoder.
+func (r *outgoingReplyRec) AppendPayload(dst []byte) ([]byte, error) {
+	return appendRecInto(dst, recOutgoingReply, r)
+}

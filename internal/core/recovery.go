@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ids"
@@ -62,16 +64,26 @@ type RecoveryStats struct {
 // recover restores the process from its log. It runs before the
 // process starts listening, so no concurrent calls arrive.
 func (p *Process) recover() error {
-	if p.log.End() == p.log.Start() {
+	if p.log.Empty() {
 		return nil // registered before, but nothing was ever logged
 	}
 
-	start := p.log.Start()
-	if wk, err := wal.LoadWellKnownLSN(p.wkPath); err == nil {
-		start = wk
-	} else if !errors.Is(err, wal.ErrNoWellKnown) {
+	// The well-known file is a per-stream watermark vector (a single
+	// LSN on legacy logs, loaded as the stream-0 mark); each shard scans
+	// from its mark, or from its own start when the vector predates the
+	// shard's era.
+	marks, err := wal.LoadWellKnownMarks(p.wkPath)
+	if err != nil && !errors.Is(err, wal.ErrNoWellKnown) {
 		return err
 	}
+	shards := p.log.Shards()
+	scanStart := func(sh wal.Shard) ids.LSN {
+		if m, ok := marks[sh.Stream]; ok {
+			return m
+		}
+		return sh.Log.Start()
+	}
+	start := scanStart(shards[0])
 	p.obs.RecoveryRuns.Inc()
 	clock := p.u.cfg.Clock
 	var stats RecoveryStats
@@ -81,14 +93,17 @@ func (p *Process) recover() error {
 	// replayIncoming), so a timeline shows both the call's replay and
 	// which recovery run performed it.
 	recRun := p.tr.NewTrace()
-	p.emitEvent(Event{Kind: EventRecoveryStart, LSN: start,
-		Detail: fmt.Sprintf("scanning from %v", start)})
+	detail := fmt.Sprintf("scanning from %v", start)
+	if len(shards) > 1 {
+		detail = fmt.Sprintf("scanning %d shards from %v", len(shards), start)
+	}
+	p.emitEvent(Event{Kind: EventRecoveryStart, LSN: start, Detail: detail})
 
 	// ---- Pass 1: find contexts and their restart LSNs. ----
 	pass1Start, pass1Wall := clock.Now(), time.Now()
 	pass1TS := p.tr.Now()
 	restart := make(map[ids.CompID]ids.LSN)
-	err := p.log.Scan(start, func(rec wal.Record) error {
+	pass1 := func(rec wal.Record) error {
 		stats.RecordsScanned++
 		switch rec.Type {
 		case recCreation:
@@ -155,9 +170,15 @@ func (p *Process) recover() error {
 			// brackets) are replay detail that pass 2 consumes.
 		}
 		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("recovery pass 1: %w", err)
+	}
+	// Shards scan in era order (oldest first). Restart maxima are
+	// per-context, and a context's records occupy one stream per era
+	// with monotonically growing stream tags, so the raw-LSN "newest
+	// wins" comparisons above stay temporally correct across shards.
+	for _, sh := range shards {
+		if err := sh.Log.Scan(scanStart(sh), pass1); err != nil {
+			return fmt.Errorf("recovery pass 1: %w", err)
+		}
 	}
 	p.recoverySpan(recRun, pass1TS)
 	if len(restart) == 0 {
@@ -173,7 +194,6 @@ func (p *Process) recover() error {
 	}
 
 	// Restore every context from its restart record.
-	minLSN := ids.LSN(0)
 	restored := make([]*Context, 0, len(restart))
 	for id, lsn := range restart {
 		cx, err := p.restoreContext(lsn)
@@ -181,9 +201,6 @@ func (p *Process) recover() error {
 			return fmt.Errorf("restore context %d: %w", id, err)
 		}
 		restored = append(restored, cx)
-		if minLSN.IsNil() || lsn < minLSN {
-			minLSN = lsn
-		}
 	}
 	p.obs.ContextsRestored.Add(int64(len(restored)))
 	p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Wall).Microseconds())
@@ -191,26 +208,50 @@ func (p *Process) recover() error {
 	stats.Pass1Duration = clock.Now().Sub(pass1Start)
 
 	// ---- Pass 2: replay incoming calls per context. ----
+	// Each stream scans from the lowest restart LSN it holds. A context
+	// restored from an older era also opens every later-era stream its
+	// key maps to, from that stream's start: its post-reshard records
+	// live there.
+	starts := p.pass2Starts(restart)
 	pass2Start, pass2Wall := clock.Now(), time.Now()
 	pass2TS := p.tr.Now()
+	var tails []tailReplay
 	if par := p.cfg.Recovery.Parallelism; par > 0 {
-		scanned, workers, err := p.replayParallel(minLSN, par, p.cfg.Recovery.queueDepth())
+		scanned, workers, parTails, err := p.replayParallel(starts, par, p.cfg.Recovery.queueDepth())
 		if err != nil {
 			return fmt.Errorf("recovery pass 2: %w", err)
 		}
 		stats.RecordsScanned += scanned
 		stats.WorkersUsed = workers
+		tails = parTails
 	} else {
-		scanned, err := p.replayFrom(minLSN, nil)
+		scanned, serTails, err := p.replayFrom(starts, nil)
 		if err != nil {
 			return fmt.Errorf("recovery pass 2: %w", err)
 		}
 		stats.RecordsScanned += scanned
+		tails = serTails
+	}
+	// Contexts with no tail call to replay become available before the
+	// tails run: a resumed tail on one shard may call a tail-less
+	// context whose records live on another shard, and must not block
+	// on its ready latch.
+	hasTail := make(map[*Context]bool, len(tails))
+	for _, t := range tails {
+		hasTail[t.cx] = true
+	}
+	for _, cx := range restored {
+		if !hasTail[cx] {
+			cx.markReady()
+		}
+	}
+	if err := p.replayTails(tails); err != nil {
+		return fmt.Errorf("recovery pass 2: %w", err)
 	}
 	p.obs.RecoveryPass2Micros.Observe(time.Since(pass2Wall).Microseconds())
 	p.recoverySpan(recRun, pass2TS)
 	stats.Pass2Duration = clock.Now().Sub(pass2Start)
-	// Contexts with no tail call to replay become available now.
+	// Catch-all: every restored context is available now.
 	for _, cx := range restored {
 		cx.markReady()
 	}
@@ -374,12 +415,109 @@ func (r *ctxResolver) ResolveLocal(id ids.CompID, fieldType reflect.Type) (any, 
 	return l, nil
 }
 
-// replayFrom is pass 2: scan from lsn to the end of the log, replaying
-// incoming calls of the selected contexts (nil = all). Message records
-// older than a context's restart LSN are skipped ("If a message log
-// record occurs earlier than the latest state record of the same
-// context, it is ignored"). Returns the number of records visited.
-func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, error) {
+// pass2Starts builds the per-stream Pass-2 scan starts from the
+// restart map: each restart LSN lowers its own stream's start, and
+// every later-era stream the context's key maps to is opened from its
+// start (the restart record predates those streams entirely, so any of
+// the context's records there postdate it).
+func (p *Process) pass2Starts(restart map[ids.CompID]ids.LSN) map[uint32]ids.LSN {
+	shardStart := make(map[uint32]ids.LSN)
+	for _, sh := range p.log.Shards() {
+		shardStart[sh.Stream] = sh.Log.Start()
+	}
+	starts := make(map[uint32]ids.LSN)
+	lower := func(stream uint32, l ids.LSN) {
+		if cur, ok := starts[stream]; !ok || l < cur {
+			starts[stream] = l
+		}
+	}
+	for id, r := range restart {
+		lower(r.Stream(), r)
+		for _, s := range p.log.StreamsFor(uint64(id)) {
+			if s > r.Stream() {
+				lower(s, shardStart[s])
+			}
+		}
+	}
+	return starts
+}
+
+// tailReplay is one context's final buffered incoming call, carried
+// out of the Pass-2 scan for the coordinator to replay (see
+// replayTails).
+type tailReplay struct {
+	cx         *Context
+	pending    *incomingRec
+	pendingLSN ids.LSN
+	replies    map[uint64]*msg.Reply
+}
+
+// replayTails runs the tail calls — each context's last buffered
+// incoming call, which may resume live execution and call into other
+// contexts of this process. On a single-stream log they replay
+// serially in log order, exactly the serial path's cross-context
+// resumption argument. On a sharded log there is no total cross-shard
+// order to honor: tails replay serially per stream (preserving the
+// within-stream prefix argument) with the streams running
+// concurrently, so a resumed tail that calls a context whose tail
+// lives on another shard finds that shard's replayer making progress
+// rather than a latch that nothing will close.
+func (p *Process) replayTails(tails []tailReplay) error {
+	sort.Slice(tails, func(i, j int) bool { return tails[i].pendingLSN < tails[j].pendingLSN })
+	runGroup := func(group []tailReplay) error {
+		for _, t := range group {
+			if err := p.replayIncoming(t.cx, t.pending, t.pendingLSN, t.replies); err != nil {
+				return err
+			}
+			if t.cx != nil {
+				t.cx.markReady()
+			}
+		}
+		return nil
+	}
+	if len(p.log.Shards()) == 1 {
+		return runGroup(tails)
+	}
+	byStream := make(map[uint32][]tailReplay)
+	order := make([]uint32, 0, 4)
+	for _, t := range tails {
+		s := t.pendingLSN.Stream()
+		if _, ok := byStream[s]; !ok {
+			order = append(order, s)
+		}
+		byStream[s] = append(byStream[s], t)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for _, s := range order {
+		group := byStream[s]
+		wg.Add(1)
+		go func(group []tailReplay) {
+			defer wg.Done()
+			if err := runGroup(group); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(group)
+	}
+	wg.Wait()
+	return first
+}
+
+// replayFrom is pass 2: scan each stream from its start LSN to the end
+// of the log, replaying incoming calls of the selected contexts
+// (nil = all). Message records older than a context's restart LSN are
+// skipped ("If a message log record occurs earlier than the latest
+// state record of the same context, it is ignored"). Returns the
+// number of records visited and the tail calls still buffered at the
+// end of the scan — the caller replays those via replayTails.
+func (p *Process) replayFrom(starts map[uint32]ids.LSN, only map[ids.CompID]bool) (int64, []tailReplay, error) {
 	type ctxReplay struct {
 		pending    *incomingRec
 		pendingLSN ids.LSN
@@ -411,7 +549,7 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, erro
 	}
 
 	var scanned int64
-	err := p.log.Scan(lsn, func(rec wal.Record) error {
+	scanRec := func(rec wal.Record) error {
 		scanned++
 		switch rec.Type {
 		case recIncoming:
@@ -449,43 +587,34 @@ func (p *Process) replayFrom(lsn ids.LSN, only map[ids.CompID]bool) (int64, erro
 			// consumed by pass 1 and carry nothing to replay.
 		}
 		return nil
-	})
-	if err != nil {
-		return scanned, err
+	}
+	// Streams scan sequentially in era order; within an era a context's
+	// records live on exactly one stream, so the per-context buffering
+	// above sees them in their original order.
+	for _, sh := range p.log.Shards() {
+		from, ok := starts[sh.Stream]
+		if !ok {
+			continue // no restored context has records on this stream
+		}
+		if err := sh.Log.Scan(from, scanRec); err != nil {
+			return scanned, nil, err
+		}
 	}
 
 	// "After this pass, the recovery manager replays the remaining
-	// buffered method calls, which are the last incoming calls." They
-	// run in log order — the original arrival order — so that a tail
-	// replay which resumes live execution and calls another context of
-	// this same process finds that context already recovered (its log
-	// records necessarily precede the caller's tail; see the prefix
-	// argument: a logged later record implies the earlier reply record
-	// was also logged and the call would have been suppressed).
-	tails := make([]ids.CompID, 0, len(states))
+	// buffered method calls, which are the last incoming calls." The
+	// caller runs them via replayTails, after readying tail-less
+	// contexts.
+	tails := make([]tailReplay, 0, len(states))
 	for id, st := range states {
 		if st.pending != nil {
-			tails = append(tails, id)
+			tails = append(tails, tailReplay{
+				cx: ctxOf(id), pending: st.pending,
+				pendingLSN: st.pendingLSN, replies: st.replies,
+			})
 		}
 	}
-	for i := 0; i < len(tails); i++ {
-		for j := i + 1; j < len(tails); j++ {
-			if states[tails[j]].pendingLSN < states[tails[i]].pendingLSN {
-				tails[i], tails[j] = tails[j], tails[i]
-			}
-		}
-	}
-	for _, id := range tails {
-		st := states[id]
-		cx := ctxOf(id)
-		if err := p.replayIncoming(cx, st.pending, st.pendingLSN, st.replies); err != nil {
-			return scanned, err
-		}
-		if cx != nil {
-			cx.markReady()
-		}
-	}
-	return scanned, nil
+	return scanned, tails, nil
 }
 
 // recoverySpan records one recovery scan pass under the run's own
@@ -587,7 +716,11 @@ func (p *Process) RecoverContext(name string) error {
 	if err != nil {
 		return err
 	}
-	_, err = p.replayFrom(restart, map[ids.CompID]bool{cx.parent.id: true})
+	starts := p.pass2Starts(map[ids.CompID]ids.LSN{cx.parent.id: restart})
+	_, tails, err := p.replayFrom(starts, map[ids.CompID]bool{cx.parent.id: true})
+	if err == nil {
+		err = p.replayTails(tails)
+	}
 	cx.markReady()
 	return err
 }

@@ -2,11 +2,15 @@ package core
 
 // This file is the partitioned Pass-2 engine behind Config.Recovery.
 // Contexts are single-threaded and independent by construction
-// (Section 4.4), so their replays need no mutual ordering: a single
-// reader walks the log once and demultiplexes message records into
-// per-context bounded queues, each drained by its own goroutine; a
-// semaphore of Parallelism slots bounds how many replayIncoming
-// executions run at once. Two things stay sequential on purpose:
+// (Section 4.4), so their replays need no mutual ordering: readers
+// walk the log once and demultiplex message records into per-context
+// bounded queues, each drained by its own goroutine; a semaphore of
+// Parallelism slots bounds how many replayIncoming executions run at
+// once. On a sharded log one reader runs per shard, because the shards
+// are independent streams; eras scan one after another (a barrier
+// between them) so a context that lived through a reshard receives its
+// older-era records before its newer ones. Two things stay sequential
+// on purpose:
 //   - Non-tail replays never resume live execution (the log-prefix
 //     argument: if a later incoming record for the context survived
 //     the crash, every earlier record — including the previous call's
@@ -14,19 +18,19 @@ package core
 //     only per-context state plus the thread-safe last-call table,
 //     whose putReplayed is monotonic per caller and converges to the
 //     serial result under any interleaving.
-//   - Tail calls (each context's final buffered incoming call) may
-//     resume live and call into other contexts of this process, so
-//     the coordinator replays them serially in log order after every
-//     queue drains — exactly the serial path's cross-context
-//     resumption argument, verbatim.
+//   - Tail calls (each context's final buffered incoming call) replay
+//     after every queue drains, via the coordinator's replayTails —
+//     serially in log order on a single stream, serially per stream
+//     with streams concurrent on a sharded log (see replayTails).
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/obs/trace"
+	"repro/internal/wal"
 )
 
 // pass2Item is one demultiplexed Pass-2 record; exactly one of
@@ -50,9 +54,12 @@ func (it pass2Item) itemTrace() trace.Ref {
 }
 
 // ctxQueue is one context's replay lane: a bounded channel fed by the
-// demux reader and drained by a single goroutine. The tail fields are
-// written only by the drain goroutine and read by the coordinator
-// after wg.Wait, so they need no lock.
+// demux readers and drained by a single goroutine. Within an era the
+// context's records live on exactly one shard, and eras scan behind a
+// barrier, so at most one reader feeds a given queue at any moment and
+// the queue sees the context's records in their original order. The
+// tail fields are written only by the drain goroutine and read by the
+// coordinator after wg.Wait, so they need no lock.
 type ctxQueue struct {
 	cx         *Context
 	ch         chan pass2Item
@@ -66,16 +73,15 @@ type ctxQueue struct {
 // visits the same records replayFrom would, replays the same incoming
 // calls, and leaves the same component state and last-call table;
 // only the interleaving of non-tail replays differs. Returns the
-// records visited and the worker-slot count used.
-func (p *Process) replayParallel(from ids.LSN, parallelism, depth int) (int64, int, error) {
-	cur, err := p.log.ScanFrom(from)
-	if err != nil {
-		return 0, 0, err
-	}
+// records visited, the worker-slot count used, and the tail calls for
+// the caller to replay via replayTails.
+func (p *Process) replayParallel(starts map[uint32]ids.LSN, parallelism, depth int) (int64, int, []tailReplay, error) {
 	var (
-		queues = make(map[ids.CompID]*ctxQueue) // nil value: context dropped, skip
-		slots  = make(chan struct{}, parallelism)
-		wg     sync.WaitGroup
+		queuesMu sync.Mutex
+		queues   = make(map[ids.CompID]*ctxQueue) // nil value: context dropped, skip
+		slots    = make(chan struct{}, parallelism)
+		wg       sync.WaitGroup
+		scanned  atomic.Int64
 	)
 	ctxOf := func(id ids.CompID) *Context {
 		p.mu.Lock()
@@ -121,6 +127,7 @@ func (p *Process) replayParallel(from ids.LSN, parallelism, depth int) (int64, i
 		}
 	}
 	getQueue := func(id ids.CompID, lsn ids.LSN) *ctxQueue {
+		queuesMu.Lock()
 		q, seen := queues[id]
 		if !seen {
 			if cx := ctxOf(id); cx != nil {
@@ -131,59 +138,103 @@ func (p *Process) replayParallel(from ids.LSN, parallelism, depth int) (int64, i
 			}
 			queues[id] = q
 		}
+		queuesMu.Unlock()
 		if q == nil || lsn < q.cx.restartLSN {
 			return nil // dropped context, or record older than its state record
 		}
 		return q
 	}
 
+	readShard := func(l *wal.Log, from ids.LSN) error {
+		cur, err := l.ScanFrom(from)
+		if err != nil {
+			return err
+		}
+		for {
+			rec, ok, err := cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			scanned.Add(1)
+			var (
+				q  *ctxQueue
+				it pass2Item
+			)
+			switch rec.Type {
+			case recIncoming:
+				var ir incomingRec
+				if err := decodeRec(rec.Payload, &ir); err != nil {
+					return err
+				}
+				q, it = getQueue(ir.Ctx, rec.LSN), pass2Item{incoming: &ir, lsn: rec.LSN}
+			case recOutgoingReply:
+				var or outgoingReplyRec
+				if err := decodeRec(rec.Payload, &or); err != nil {
+					return err
+				}
+				q, it = getQueue(or.Ctx, rec.LSN), pass2Item{reply: &or, lsn: rec.LSN}
+			default:
+				continue
+			}
+			if q == nil {
+				continue
+			}
+			p.obs.RecoveryPass2Demuxed.Inc()
+			p.obs.RecoveryPass2QueueDepth.Observe(int64(len(q.ch)))
+			if len(q.ch) == cap(q.ch) {
+				p.obs.RecoveryPass2Stalls.Inc()
+			}
+			it.enq = p.tr.Now()
+			q.ch <- it
+		}
+	}
+
+	// Group the shards by era, oldest first (Shards returns them in era
+	// order). Each era's shards read concurrently; the next era starts
+	// only once the whole era drained into the queues, because for any
+	// single context the records of era N temporally precede those of
+	// era N+1.
+	shards := p.log.Shards()
+	var eras [][]wal.Shard
+	for _, sh := range shards {
+		if n := len(eras); n == 0 || eras[n-1][0].Era != sh.Era {
+			eras = append(eras, nil)
+		}
+		eras[len(eras)-1] = append(eras[len(eras)-1], sh)
+	}
 	var (
-		scanned int64
+		readMu  sync.Mutex
 		readErr error
 	)
-scan:
-	for {
-		rec, ok, err := cur.Next()
-		if err != nil {
-			readErr = err
+	for _, group := range eras {
+		var rwg sync.WaitGroup
+		for _, sh := range group {
+			from, ok := starts[sh.Stream]
+			if !ok {
+				continue // no restored context has records on this stream
+			}
+			rwg.Add(1)
+			go func(l *wal.Log, from ids.LSN) {
+				defer rwg.Done()
+				if err := readShard(l, from); err != nil {
+					readMu.Lock()
+					if readErr == nil {
+						readErr = err
+					}
+					readMu.Unlock()
+				}
+			}(sh.Log, from)
+		}
+		rwg.Wait()
+		readMu.Lock()
+		stop := readErr != nil
+		readMu.Unlock()
+		if stop {
 			break
 		}
-		if !ok {
-			break
-		}
-		scanned++
-		var (
-			q  *ctxQueue
-			it pass2Item
-		)
-		switch rec.Type {
-		case recIncoming:
-			var ir incomingRec
-			if err := decodeRec(rec.Payload, &ir); err != nil {
-				readErr = err
-				break scan
-			}
-			q, it = getQueue(ir.Ctx, rec.LSN), pass2Item{incoming: &ir, lsn: rec.LSN}
-		case recOutgoingReply:
-			var or outgoingReplyRec
-			if err := decodeRec(rec.Payload, &or); err != nil {
-				readErr = err
-				break scan
-			}
-			q, it = getQueue(or.Ctx, rec.LSN), pass2Item{reply: &or, lsn: rec.LSN}
-		default:
-			continue
-		}
-		if q == nil {
-			continue
-		}
-		p.obs.RecoveryPass2Demuxed.Inc()
-		p.obs.RecoveryPass2QueueDepth.Observe(int64(len(q.ch)))
-		if len(q.ch) == cap(q.ch) {
-			p.obs.RecoveryPass2Stalls.Inc()
-		}
-		it.enq = p.tr.Now()
-		q.ch <- it
 	}
 
 	live := 0
@@ -200,29 +251,24 @@ scan:
 	}
 	p.obs.RecoveryPass2Workers.Observe(int64(workers))
 	if readErr != nil {
-		return scanned, workers, readErr
+		return scanned.Load(), workers, nil, readErr
 	}
 	for _, q := range queues {
 		if q != nil && q.err != nil {
-			return scanned, workers, q.err
+			return scanned.Load(), workers, nil, q.err
 		}
 	}
 
-	// Tail replays may resume live execution, so they run serially in
-	// log order — the original arrival order — exactly as replayFrom
-	// does (see the comment there).
-	tails := make([]*ctxQueue, 0, live)
+	// Hand the tail calls back to the coordinator; replayTails runs
+	// them with the ordering arguments documented there.
+	tails := make([]tailReplay, 0, live)
 	for _, q := range queues {
 		if q != nil && q.pending != nil {
-			tails = append(tails, q)
+			tails = append(tails, tailReplay{
+				cx: q.cx, pending: q.pending,
+				pendingLSN: q.pendingLSN, replies: q.replies,
+			})
 		}
 	}
-	sort.Slice(tails, func(i, j int) bool { return tails[i].pendingLSN < tails[j].pendingLSN })
-	for _, q := range tails {
-		if err := p.replayIncoming(q.cx, q.pending, q.pendingLSN, q.replies); err != nil {
-			return scanned, workers, err
-		}
-		q.cx.markReady()
-	}
-	return scanned, workers, nil
+	return scanned.Load(), workers, tails, nil
 }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// These tests pin the sharded-log recovery contract: a universe whose
+// process partitioned its log across N shards must recover to the same
+// component state, last-call tables, and replay/suppression counts
+// whether Pass 2 runs serially or with parallel per-shard readers —
+// and a log that changed shard counts mid-life (a legacy single-stream
+// era followed by a sharded era) must recover across both eras.
+
+// shardWorkload drives the standard counters+relays workload against a
+// fresh process configured with the given shard count, crashes it, and
+// returns the universe dir plus component names.
+func shardWorkload(t *testing.T, shards int) (dir string, counters, relays []string) {
+	t.Helper()
+	dir = t.TempDir()
+	u, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.WAL = WALConfig{Shards: shards}
+	p, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[string]*Ref)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("C%d", i)
+		h, err := p.Create(name, &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters = append(counters, name)
+		refs[name] = u.ExternalRef(h.URI())
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("R%d", i)
+		target, _ := p.Lookup(fmt.Sprintf("C%d", i))
+		h, err := p.Create(name, &Relay{Server: NewRef(target.URI())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays = append(relays, name)
+		refs[name] = u.ExternalRef(h.URI())
+	}
+	for round := 1; round <= 8; round++ {
+		for i, name := range counters {
+			callInt(t, refs[name], "Add", i+round)
+		}
+		for _, name := range relays {
+			callInt(t, refs[name], "Forward", 10)
+		}
+	}
+	p.Crash()
+	u.Shutdown()
+	return dir, counters, relays
+}
+
+// TestShardedRecoveryEquivalence runs the serial-vs-parallel
+// equivalence suite over logs partitioned into 1, 4 and 8 shards.
+// Restarted processes carry no WAL config: the shard layout must be
+// detected from the directory alone.
+func TestShardedRecoveryEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir, counters, relays := shardWorkload(t, shards)
+			if sharded := wal.IsSharded(filepath.Join(dir, "evo1", "srv.log")); sharded != (shards > 1) {
+				t.Fatalf("IsSharded reports %v for a %d-shard log", sharded, shards)
+			}
+			base := recoverCopy(t, dir, counters, relays, 0)
+			if base.suppressed == 0 {
+				t.Error("workload produced no suppressed sends")
+			}
+			if base.stats.CallsReplayed == 0 {
+				t.Error("workload produced no replayed calls")
+			}
+			for _, par := range equivalenceLevels[1:] {
+				assertEquivalent(t, par, base, recoverCopy(t, dir, counters, relays, par))
+			}
+		})
+	}
+}
+
+// TestMixedEraRecovery crashes a process whose log spans two eras: a
+// legacy single-stream era (including some gob-framed records) written
+// before sharding existed, and a 4-shard era appended after an upgrade
+// restart. Recovery must replay both eras in order at every
+// parallelism level with identical outcomes.
+func TestMixedEraRecovery(t *testing.T) {
+	dir := t.TempDir()
+	u, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.StartProcess("srv", testConfig()) // era 0: single stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters, relays []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("C%d", i)
+		h, err := p.Create(name, &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters = append(counters, name)
+		ref := u.ExternalRef(h.URI())
+		callInt(t, ref, "Add", i+1)
+	}
+	// A stretch of legacy gob-framed records inside the legacy era:
+	// the upgrade must not care how old frames were encoded.
+	legacyRecEncoding = true
+	for i, name := range counters {
+		h, _ := p.Lookup(name)
+		callInt(t, u.ExternalRef(h.URI()), "Add", 10+i)
+	}
+	legacyRecEncoding = false
+	p.Crash()
+	u.Shutdown()
+
+	// Upgrade restart: same directory, now asking for 4 shards. This
+	// recovers the legacy era and appends a sharded era for new work.
+	u2, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u2.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.WAL = WALConfig{Shards: 4}
+	p2, err := m2.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatalf("upgrade restart: %v", err)
+	}
+	if !p2.Recovered() {
+		t.Fatal("upgrade restart did not recover the legacy era")
+	}
+	if !wal.IsSharded(filepath.Join(dir, "evo1", "srv.log")) {
+		t.Fatal("upgrade restart left the log unsharded")
+	}
+	refs := make(map[string]*Ref)
+	for _, name := range counters {
+		h, ok := p2.Lookup(name)
+		if !ok {
+			t.Fatalf("counter %s lost across the upgrade", name)
+		}
+		refs[name] = u2.ExternalRef(h.URI())
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("R%d", i)
+		target, _ := p2.Lookup(fmt.Sprintf("C%d", i))
+		h, err := p2.Create(name, &Relay{Server: NewRef(target.URI())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays = append(relays, name)
+		refs[name] = u2.ExternalRef(h.URI())
+	}
+	for round := 1; round <= 6; round++ {
+		for i, name := range counters {
+			callInt(t, refs[name], "Add", 100*round+i)
+		}
+		for _, name := range relays {
+			callInt(t, refs[name], "Forward", 7)
+		}
+	}
+	p2.Crash()
+	u2.Shutdown()
+
+	base := recoverCopy(t, dir, counters, relays, 0)
+	if base.suppressed == 0 {
+		t.Error("sharded era produced no suppressed sends")
+	}
+	if base.stats.CallsReplayed == 0 {
+		t.Error("mixed-era workload produced no replayed calls")
+	}
+	// Spot-check that one counter's value spans both eras: its two
+	// legacy-era Adds, six sharded-era Adds, and six relayed Forwards.
+	wantC0 := (1 + 10) + (100 + 200 + 300 + 400 + 500 + 600) + 6*7
+	if got := base.counters["C0"]; got != wantC0 {
+		t.Errorf("C0 recovered as %d, want %d", got, wantC0)
+	}
+	for _, par := range equivalenceLevels[1:] {
+		assertEquivalent(t, par, base, recoverCopy(t, dir, counters, relays, par))
+	}
+}

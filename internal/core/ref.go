@@ -206,7 +206,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	case cx.parent.ctype == msg.External || stateless:
 		// Algorithms 4/5 at the stateless component: do nothing.
 	case p.cfg.LogMode == LogBaseline:
-		lsn, err := p.appendRec(recOutgoing, &outgoingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
+		lsn, err := p.appendRec(recOutgoing, cx.parent.id, &outgoingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +283,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		fallthrough
 	default:
 		if p.cfg.LogMode == LogBaseline {
-			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
+			lsn, err := p.appendRec(recOutgoingReply, cx.parent.id, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return nil, err
 			}
@@ -299,7 +299,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			// Optimized: log message 4 without forcing. Read-only
 			// replies are unrepeatable and must be logged too
 			// (Algorithm 5: "Log message 4").
-			lsn, err := p.appendRec(recOutgoingReply, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
+			lsn, err := p.appendRec(recOutgoingReply, cx.parent.id, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return nil, err
 			}

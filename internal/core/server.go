@@ -168,7 +168,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	// Message 1 logging.
 	if !roTreatment {
 		p.inject(PointServerBeforeLogIncoming)
-		lsn, err := p.appendRec(recIncoming, &incomingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
+		lsn, err := p.appendRec(recIncoming, cx.parent.id, &incomingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return fault(call.ID, "log incoming: %v", err)
 		}
@@ -206,7 +206,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		switch {
 		case p.cfg.LogMode == LogBaseline:
 			// Algorithm 1: log the full reply and force.
-			lsn, err := p.appendRec(recReplyContent, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply, Trace: call.Trace})
+			lsn, err := p.appendRec(recReplyContent, cx.parent.id, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return fault(call.ID, "log reply: %v", err)
 			}
@@ -217,7 +217,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		case external:
 			// Algorithm 3: a short record — only the fact that the
 			// reply was (attempted to be) sent — then force.
-			lsn, err := p.appendRec(recReplySent, &replySentRec{Ctx: cx.parent.id, CallID: call.ID, Trace: call.Trace})
+			lsn, err := p.appendRec(recReplySent, cx.parent.id, &replySentRec{Ctx: cx.parent.id, CallID: call.ID, Trace: call.Trace})
 			if err != nil {
 				return fault(call.ID, "log reply-sent: %v", err)
 			}

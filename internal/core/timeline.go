@@ -130,14 +130,20 @@ func TraceTimelines(logs, dumps []string) ([]Timeline, error) {
 // scanTraceRecords appends a record event for every trace-carrying hot
 // record in the log at path.
 func scanTraceRecords(path string, byTrace map[uint64][]TimelineEvent) error {
-	log, err := wal.Open(path, nil)
+	var log wal.Writer
+	var err error
+	if wal.IsSharded(path) {
+		log, err = wal.OpenSet(path, nil, 0)
+	} else {
+		log, err = wal.Open(path, nil)
+	}
 	if err != nil {
 		return err
 	}
 	defer log.Close()
 	src := filepath.Base(path)
 	proc := strings.TrimSuffix(src, ".log")
-	return log.Scan(ids.NilLSN, func(rec wal.Record) error {
+	scan := func(rec wal.Record) error {
 		var tr trace.Ref
 		var method string
 		switch rec.Type {
@@ -182,7 +188,13 @@ func scanTraceRecords(path string, byTrace map[uint64][]TimelineEvent) error {
 			LSN: uint64(rec.LSN), Proc: proc, Method: method, Source: src,
 		})
 		return nil
-	})
+	}
+	for _, sh := range log.Shards() {
+		if err := sh.Log.Scan(ids.NilLSN, scan); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DiscoverTraceFiles pairs every <proc>.log in dir with its

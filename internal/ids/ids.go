@@ -19,17 +19,55 @@ import (
 )
 
 // LSN is a log sequence number: the byte offset of a record in a
-// process-local log. LSNs are strictly increasing within a log.
+// process-local log stream. LSNs are strictly increasing within a
+// stream.
+//
+// Sharded logs (internal/wal.Set) qualify LSNs with a stream tag in
+// the top byte: stream 0 is the legacy single-log stream, whose LSNs
+// are plain byte offsets and encode bit-for-bit as before. Stream
+// tags are assigned monotonically across reshard eras, so comparing
+// two raw LSNs orders them first by era (temporal order) and then by
+// offset within a stream — which is exactly the order recovery and
+// the checkpoint watermark rely on.
 type LSN uint64
 
 // NilLSN marks an absent LSN (e.g. a last-call entry whose reply has not
 // been written to the log).
 const NilLSN LSN = 0
 
+const (
+	// lsnStreamShift puts the stream tag in the LSN's top byte,
+	// leaving 56 bits of byte offset (72 PB per stream).
+	lsnStreamShift = 56
+	lsnOffsetMask  = LSN(1)<<lsnStreamShift - 1
+
+	// MaxStream is the largest stream tag an LSN can carry.
+	MaxStream = 255
+)
+
 // IsNil reports whether the LSN is the reserved "absent" value.
 func (l LSN) IsNil() bool { return l == NilLSN }
 
-func (l LSN) String() string { return "lsn:" + strconv.FormatUint(uint64(l), 10) }
+// Stream returns the log stream the LSN belongs to. Stream 0 is the
+// legacy single-log stream.
+func (l LSN) Stream() uint32 { return uint32(l >> lsnStreamShift) }
+
+// Offset returns the byte offset of the LSN within its stream.
+func (l LSN) Offset() LSN { return l & lsnOffsetMask }
+
+// StreamLSN builds a stream-qualified LSN from a stream tag and a byte
+// offset. StreamLSN(0, off) == off: legacy LSNs are stream 0.
+func StreamLSN(stream uint32, off LSN) LSN {
+	return LSN(stream)<<lsnStreamShift | off&lsnOffsetMask
+}
+
+func (l LSN) String() string {
+	if s := l.Stream(); s != 0 {
+		return "lsn:" + strconv.FormatUint(uint64(s), 10) + ":" +
+			strconv.FormatUint(uint64(l.Offset()), 10)
+	}
+	return "lsn:" + strconv.FormatUint(uint64(l), 10)
+}
 
 // ProcID is the logical process ID assigned by the machine's recovery
 // service. It survives process failures: a restarted process is handed

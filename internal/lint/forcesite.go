@@ -24,7 +24,27 @@ var defaultForcesiteGuarded = []string{
 	"(*repro/internal/wal.Log).ForceTo",
 	"(*repro/internal/wal.Log).SyncTo",
 	"(*repro/internal/wal.Log).SyncAll",
+	// The sharded set and the Writer interface expose the same entry
+	// points; core calls through the interface, so without these the
+	// analyzer would lose its coverage the moment a call site is typed
+	// wal.Writer instead of *wal.Log.
+	"(*repro/internal/wal.Set).AppendInto",
+	"(*repro/internal/wal.Set).ForceTo",
+	"(*repro/internal/wal.Set).SyncTo",
+	"(*repro/internal/wal.Set).SyncAll",
+	"(repro/internal/wal.Writer).AppendInto",
+	"(repro/internal/wal.Writer).ForceTo",
+	"(repro/internal/wal.Writer).SyncTo",
+	"(repro/internal/wal.Writer).SyncAll",
 }
+
+// deprecatedForce is the bare whole-log force. It keeps working for
+// compatibility, but production code must name its watermark
+// (ForceTo/SyncTo) or sync every shard deliberately (SyncAll): on a
+// sharded log "force everything" hides which stream the caller
+// actually needed durable. Calls outside _test.go files are reported
+// even from blessed functions.
+const deprecatedForce = "(*repro/internal/wal.Log).Force"
 
 // NewForcesite returns the forcesite analyzer: the wal append/force
 // entry points may only be called from the blessed functions listed
@@ -64,7 +84,9 @@ func NewForcesite(cfg ForcesiteConfig, allow *Allowlist) *Analyzer {
 				return nil
 			}
 			WalkFuncs(pass, func(decl *ast.FuncDecl, fname string) {
-				if allow.Allowed("forcesite", fname) {
+				inTest := strings.HasSuffix(pass.Fset.Position(decl.Pos()).Filename, "_test.go")
+				isBlessed := allow.Allowed("forcesite", fname)
+				if isBlessed && inTest {
 					return
 				}
 				ast.Inspect(decl, func(n ast.Node) bool {
@@ -72,7 +94,14 @@ func NewForcesite(cfg ForcesiteConfig, allow *Allowlist) *Analyzer {
 					if !ok {
 						return true
 					}
-					if callee := CalleeString(pass.Info, call); guarded[callee] {
+					callee := CalleeString(pass.Info, call)
+					if callee == deprecatedForce && !inTest {
+						pass.Reportf(call.Pos(),
+							"%s is deprecated outside tests: name the watermark with ForceTo/SyncTo or sync every shard with SyncAll",
+							callee)
+						return true
+					}
+					if !isBlessed && guarded[callee] {
 						pass.Reportf(call.Pos(),
 							"%s called from %s, which is not a blessed force/append site; %s",
 							callee, fname, route)

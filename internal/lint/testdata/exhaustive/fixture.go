@@ -59,6 +59,39 @@ func badString(m mode) bool {
 	return false
 }
 
+// syncOutcome mirrors the WAL's per-shard sync merge: a three-way
+// enum whose switches must stay exhaustive as outcomes are added.
+type syncOutcome int
+
+const (
+	syncClean syncOutcome = iota
+	syncCombined
+	syncIssued
+)
+
+func mergeOutcomes(a, b syncOutcome) syncOutcome {
+	switch a {
+	case syncClean:
+		return b
+	case syncCombined:
+		if b == syncIssued {
+			return b
+		}
+		return a
+	case syncIssued:
+		return a
+	}
+	return a
+}
+
+func badOutcome(o syncOutcome) string {
+	switch o { // want `switch over .*\.syncOutcome is missing cases syncCombined, syncIssued and has no default`
+	case syncClean:
+		return "clean"
+	}
+	return ""
+}
+
 // plain built-in types are not enums; nothing to flag.
 func notEnum(n int) int {
 	switch n {

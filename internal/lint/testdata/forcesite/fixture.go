@@ -8,11 +8,12 @@ import (
 )
 
 // blessedAppend is the fixture's accounting chokepoint (allowlisted).
+// Blessing does not excuse the deprecated bare force.
 func blessedAppend(l *wal.Log, payload []byte) error {
 	if _, err := l.Append(1, payload); err != nil {
 		return err
 	}
-	return l.Force()
+	return l.Force() // want `\Q(*repro/internal/wal.Log).Force\E is deprecated outside tests`
 }
 
 func rogueAppend(l *wal.Log, payload []byte) {
@@ -20,7 +21,7 @@ func rogueAppend(l *wal.Log, payload []byte) {
 }
 
 func rogueForces(l *wal.Log) error {
-	if err := l.Force(); err != nil { // want `\Q(*repro/internal/wal.Log).Force\E called from`
+	if err := l.Force(); err != nil { // want `\Q(*repro/internal/wal.Log).Force\E is deprecated outside tests`
 		return err
 	}
 	if err := l.ForceTo(7); err != nil { // want `\Q(*repro/internal/wal.Log).ForceTo\E called from`
@@ -31,6 +32,29 @@ func rogueForces(l *wal.Log) error {
 	}
 	_, err := l.SyncTo(9) // want `\Q(*repro/internal/wal.Log).SyncTo\E called from`
 	return err
+}
+
+// The sharded set and the Writer interface are guarded the same way:
+// core appends through wal.Writer, so interface call sites must not
+// slip past the accounting.
+func rogueSet(s *wal.Set, enc wal.PayloadEncoder) error {
+	if _, err := s.AppendInto(3, 1, enc); err != nil { // want `\Q(*repro/internal/wal.Set).AppendInto\E called from`
+		return err
+	}
+	if _, err := s.SyncAll(); err != nil { // want `\Q(*repro/internal/wal.Set).SyncAll\E called from`
+		return err
+	}
+	return s.ForceTo(7) // want `\Q(*repro/internal/wal.Set).ForceTo\E called from`
+}
+
+func rogueWriter(w wal.Writer, enc wal.PayloadEncoder) error {
+	if _, err := w.AppendInto(3, 1, enc); err != nil { // want `\Q(repro/internal/wal.Writer).AppendInto\E called from`
+		return err
+	}
+	if _, err := w.SyncTo(9); err != nil { // want `\Q(repro/internal/wal.Writer).SyncTo\E called from`
+		return err
+	}
+	return w.ForceTo(7) // want `\Q(repro/internal/wal.Writer).ForceTo\E called from`
 }
 
 // reads are not guarded: only the append/force entry points are.

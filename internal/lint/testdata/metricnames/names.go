@@ -6,4 +6,9 @@ const (
 	MetricGood     = "fix.good"
 	MetricViaConst = "fix.via_const"
 	MetricOrphan   = "fix.orphan" // want `metric name constant MetricOrphan \("fix\.orphan"\) is declared in names\.go but never resolved`
+
+	// Two-level families (the wal.shard.* shape) must reconcile like
+	// any other name.
+	MetricShardAppends = "fix.shard.appends"
+	MetricShardSpread  = "fix.shard.spread"
 )

@@ -46,6 +46,25 @@ const (
 	// the flusher's queue was full.
 	WALGroupBackpressure = "wal.group.backpressure"
 
+	// --- sharded log (internal/wal set.go). A Set's shards report the
+	// plain wal.* and wal.group.* metrics into the same registry, so
+	// those stay process totals; the wal.shard.* group covers what is
+	// specific to sharding. ---
+
+	// WALShardAppends counts records appended through a sharded Set
+	// (zero on single-Log processes).
+	WALShardAppends = "wal.shard.appends"
+	// WALShardSpread is the distribution of appendable-shard indices
+	// receiving appends — a skewed histogram means the CompID hash is
+	// not balancing the offered load.
+	WALShardSpread = "wal.shard.spread"
+	// WALShardStreams is the appendable shard count observed at each
+	// Set open.
+	WALShardStreams = "wal.shard.streams"
+	// WALShardReshards counts reshard eras appended to a log (an open
+	// with a shard count different from the layout on disk).
+	WALShardReshards = "wal.shard.reshards"
+
 	// --- log records by kind (the paper's message kinds 1-4 plus
 	// creation, state and checkpoint records) ---
 
@@ -221,6 +240,11 @@ type WALMetrics struct {
 	GroupWaitMicros   *Histogram
 	GroupSyncsSaved   *Counter
 	GroupBackpressure *Counter
+
+	ShardAppends  *Counter
+	ShardSpread   *Histogram
+	ShardStreams  *Histogram
+	ShardReshards *Counter
 }
 
 // WALView resolves the wal.* bundle from r.
@@ -239,6 +263,11 @@ func WALView(r *Registry) *WALMetrics {
 		GroupWaitMicros:   r.Histogram(WALGroupWaitMicros),
 		GroupSyncsSaved:   r.Counter(WALGroupSyncsSaved),
 		GroupBackpressure: r.Counter(WALGroupBackpressure),
+
+		ShardAppends:  r.Counter(WALShardAppends),
+		ShardSpread:   r.Histogram(WALShardSpread),
+		ShardStreams:  r.Histogram(WALShardStreams),
+		ShardReshards: r.Counter(WALShardReshards),
 	}
 }
 

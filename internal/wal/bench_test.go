@@ -36,14 +36,14 @@ func BenchmarkWALAppendInto(b *testing.B) {
 	}
 	defer l.Close()
 	l.SetSegmentBytes(1 << 30)
-	enc := func(dst []byte) ([]byte, error) {
+	enc := EncodeFunc(func(dst []byte) ([]byte, error) {
 		return append(dst, benchPayload...), nil
-	}
+	})
 	b.ReportAllocs()
 	b.SetBytes(int64(len(benchPayload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := l.AppendInto(1, enc); err != nil {
+		if _, err := l.AppendInto(0, 1, enc); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -95,9 +95,9 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lsn2, err := l.AppendInto(RecordType(typ)+1, func(dst []byte) ([]byte, error) {
+		lsn2, err := l.AppendInto(0, RecordType(typ)+1, EncodeFunc(func(dst []byte) ([]byte, error) {
 			return append(dst, p2...), nil
-		})
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// Set is a sharded log: N appendable shard streams keyed by the
+// append's routing key (the context's CompID), each stream owning its
+// own segment files, append mutex, group-commit flusher and synced
+// watermark. It satisfies Writer, so core.Process drives it exactly
+// like a single Log — what changes is that appends from different
+// contexts stop serializing on one mutex and one flusher, and forces
+// to different shards sync different files concurrently.
+//
+// Cross-shard ordering: there is none, deliberately. Recoverability
+// does not need a totally ordered log (arXiv:1901.06491) — it needs
+// the per-context record order, and a context's records all land in
+// one stream per era because the routing key is the context ID. The
+// well-known checkpoint watermark becomes a per-stream vector (see
+// SaveWellKnownMarks).
+type Set struct {
+	dir    string
+	eras   []Era
+	shards []Shard // era order; index-aligned with eras expansion
+	active []*Log  // logs of the latest era, routing-index order
+	byStr  map[uint32]*Log
+	m      *obs.WALMetrics
+}
+
+// OpenSet opens (creating or resharding as necessary) the sharded log
+// at dir with n appendable shards:
+//
+//   - fresh directory: creates streams 1..n (no empty stream-0 era);
+//   - legacy single-stream directory: records era {0,1} and, when
+//     n > 1, appends era {base 1, n} — an in-place upgrade, old
+//     records untouched;
+//   - already-sharded directory: n <= 1 keeps the existing layout
+//     (restarts with a zero config must not reshard), n != current
+//     count appends a new era.
+func OpenSet(dir string, model disk.Model, n int) (*Set, error) {
+	if n > ids.MaxStream {
+		return nil, fmt.Errorf("wal: %d shards exceeds the %d-stream LSN tag space", n, ids.MaxStream)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	eras, err := loadShardMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	reshards := 0
+	if eras == nil {
+		if legacy, err := hasRootSegments(dir); err != nil {
+			return nil, err
+		} else if legacy {
+			eras = []Era{{Base: 0, Count: 1}}
+		}
+	}
+	switch {
+	case len(eras) == 0:
+		if n < 1 {
+			n = 1
+		}
+		eras = []Era{{Base: 1, Count: n}}
+	case n >= 1 && n != eras[len(eras)-1].Count:
+		last := eras[len(eras)-1]
+		base := uint64(last.Base) + uint64(last.Count)
+		if base+uint64(n)-1 > ids.MaxStream {
+			return nil, fmt.Errorf("wal: reshard to %d shards exhausts the %d-stream LSN tag space", n, ids.MaxStream)
+		}
+		eras = append(eras, Era{Base: uint32(base), Count: n})
+		reshards++
+	}
+	if err := saveShardMeta(dir, eras); err != nil {
+		return nil, err
+	}
+
+	s := &Set{
+		dir:   dir,
+		eras:  eras,
+		byStr: make(map[uint32]*Log),
+		m:     obs.WALView(obs.Default()),
+	}
+	for ei, e := range eras {
+		for i := 0; i < e.Count; i++ {
+			stream := e.Base + uint32(i)
+			sdir, base := dir, firstLSN
+			if stream != 0 {
+				sdir = filepath.Join(dir, shardDirName(stream))
+				base = ids.StreamLSN(stream, ids.LSN(segHeaderSize))
+			}
+			l, err := openLog(sdir, model, base)
+			if err != nil {
+				s.closeOpened()
+				return nil, err
+			}
+			s.shards = append(s.shards, Shard{Stream: stream, Era: ei, Log: l})
+			s.byStr[stream] = l
+			if ei == len(eras)-1 {
+				s.active = append(s.active, l)
+			}
+		}
+	}
+	for ; reshards > 0; reshards-- {
+		s.m.ShardReshards.Inc()
+	}
+	s.m.ShardStreams.Observe(int64(len(s.active)))
+	return s, nil
+}
+
+// hasRootSegments reports whether dir itself holds legacy stream-0
+// segment files.
+func hasRootSegments(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, fmt.Errorf("wal: read dir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (s *Set) closeOpened() {
+	for _, sh := range s.shards {
+		sh.Log.Close()
+	}
+}
+
+// shardIdx maps a routing key onto [0, n). Key 0 — the runtime's
+// "meta" key for process-wide records (CompIDs start at 1) — always
+// maps to shard 0, so checkpoint records share one stream and
+// SyncedLSN is well defined.
+func shardIdx(key uint64, n int) int {
+	if key == 0 || n <= 1 {
+		return 0
+	}
+	h := key * 0x9E3779B97F4A7C15 // Fibonacci hashing; CompIDs are small sequential ints
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// route returns the active shard the key maps to, and its index.
+func (s *Set) route(key uint64) (*Log, int) {
+	i := shardIdx(key, len(s.active))
+	return s.active[i], i
+}
+
+// AppendInto appends to the shard the key maps to. Implements Writer.
+func (s *Set) AppendInto(key uint64, t RecordType, enc PayloadEncoder) (ids.LSN, error) {
+	l, i := s.route(key)
+	lsn, err := l.AppendInto(key, t, enc)
+	if err == nil {
+		s.m.ShardAppends.Inc()
+		s.m.ShardSpread.Observe(int64(i))
+	}
+	return lsn, err
+}
+
+// streamLog resolves the shard owning an LSN's stream.
+func (s *Set) streamLog(lsn ids.LSN) (*Log, error) {
+	l, ok := s.byStr[lsn.Stream()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v (no stream %d)", ErrNotFound, lsn, lsn.Stream())
+	}
+	return l, nil
+}
+
+// ForceTo implements Writer: the force routes to the LSN's stream.
+func (s *Set) ForceTo(lsn ids.LSN) error {
+	_, err := s.SyncTo(lsn)
+	return err
+}
+
+// SyncTo implements Writer. A nil LSN is a clean force accounted to
+// the meta shard, as on a single Log.
+func (s *Set) SyncTo(lsn ids.LSN) (SyncOutcome, error) {
+	if lsn.IsNil() {
+		return s.active[0].SyncTo(lsn)
+	}
+	l, err := s.streamLog(lsn)
+	if err != nil {
+		return SyncClean, err
+	}
+	return l.SyncTo(lsn)
+}
+
+// SyncAll forces the full tail of every appendable shard (read-only
+// era streams have no dirty tail). The combined outcome is SyncIssued
+// if any shard issued a device sync.
+func (s *Set) SyncAll() (SyncOutcome, error) {
+	out := SyncClean
+	for _, l := range s.active {
+		o, err := l.SyncAll()
+		if err != nil {
+			return out, err
+		}
+		if o == SyncIssued || (o == SyncCombined && out == SyncClean) {
+			out = o
+		}
+	}
+	return out, nil
+}
+
+// SyncedLSN implements Writer: the stable watermark of the meta shard
+// (where checkpoint records live).
+func (s *Set) SyncedLSN() ids.LSN { return s.active[0].SyncedLSN() }
+
+// Flush implements Writer.
+func (s *Set) Flush() error {
+	for _, sh := range s.shards {
+		if err := sh.Log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements Writer, routed by the LSN's stream tag.
+func (s *Set) Read(lsn ids.LSN) (Record, error) {
+	l, err := s.streamLog(lsn)
+	if err != nil {
+		return Record{}, err
+	}
+	return l.Read(lsn)
+}
+
+// TrimHead implements Writer, routed by keep's stream tag.
+func (s *Set) TrimHead(keep ids.LSN) error {
+	l, err := s.streamLog(keep)
+	if err != nil {
+		return err
+	}
+	return l.TrimHead(keep)
+}
+
+// Empty implements Writer: true when no stream holds a record.
+func (s *Set) Empty() bool {
+	for _, sh := range s.shards {
+		if !sh.Log.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shards implements Writer: all streams, era order.
+func (s *Set) Shards() []Shard {
+	out := make([]Shard, len(s.shards))
+	copy(out, s.shards)
+	return out
+}
+
+// StreamsFor implements Writer: the stream the key maps to in each
+// era, era order.
+func (s *Set) StreamsFor(key uint64) []uint32 {
+	out := make([]uint32, len(s.eras))
+	for i, e := range s.eras {
+		out[i] = e.Base + uint32(shardIdx(key, e.Count))
+	}
+	return out
+}
+
+// Stats implements Writer: counters summed over all streams.
+func (s *Set) Stats() Stats {
+	var sum Stats
+	for _, sh := range s.shards {
+		st := sh.Log.Stats()
+		sum.Appends += st.Appends
+		sum.Forces += st.Forces
+		sum.PhysicalWrites += st.PhysicalWrites
+		sum.BytesWritten += st.BytesWritten
+		sum.Segments += st.Segments
+		sum.TrimmedBytes += st.TrimmedBytes
+		sum.AppendBusyNanos += st.AppendBusyNanos
+		sum.SyncBusyNanos += st.SyncBusyNanos
+	}
+	return sum
+}
+
+// ResetStats implements Writer.
+func (s *Set) ResetStats() {
+	for _, sh := range s.shards {
+		sh.Log.ResetStats()
+	}
+}
+
+// SetSegmentBytes implements Writer.
+func (s *Set) SetSegmentBytes(n int64) {
+	for _, sh := range s.shards {
+		sh.Log.SetSegmentBytes(n)
+	}
+}
+
+// SetMetrics implements Writer: every shard accounts to reg, and so
+// do the set-level wal.shard.* counters.
+func (s *Set) SetMetrics(reg *obs.Registry) {
+	s.m = obs.WALView(reg)
+	for _, sh := range s.shards {
+		sh.Log.SetMetrics(reg)
+	}
+}
+
+// StartGroupCommit implements Writer: one flusher per appendable
+// shard, so commit windows on different shards close — and sync their
+// files — independently and in parallel.
+func (s *Set) StartGroupCommit(cfg GroupCommitConfig, clock disk.Clock) {
+	for _, l := range s.active {
+		l.StartGroupCommit(cfg, clock)
+	}
+}
+
+// Close implements Writer.
+func (s *Set) Close() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := sh.Log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Discard implements Writer: every shard drops its unforced tail, the
+// per-shard crash model.
+func (s *Set) Discard() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := sh.Log.Discard(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func appendKeyed(t *testing.T, w Writer, key uint64, payload []byte) ids.LSN {
+	t.Helper()
+	lsn, err := w.AppendInto(key, 1, EncodeFunc(func(dst []byte) ([]byte, error) {
+		return append(dst, payload...), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+// TestOpenSetFresh: a fresh 4-shard set creates streams 1..4 (no empty
+// legacy stream), routes appends deterministically by key, and reads
+// records back through the stream-tagged LSNs.
+func TestOpenSetFresh(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p.log")
+	s, err := OpenSet(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	shards := s.Shards()
+	if len(shards) != 4 {
+		t.Fatalf("fresh 4-shard set has %d shards", len(shards))
+	}
+	for i, sh := range shards {
+		if sh.Stream != uint32(i+1) || sh.Era != 0 {
+			t.Errorf("shard %d: stream %d era %d, want stream %d era 0", i, sh.Stream, sh.Era, i+1)
+		}
+	}
+
+	// Key 0 (process-wide records) pins to the meta shard.
+	meta := appendKeyed(t, s, 0, []byte("meta"))
+	if meta.Stream() != shards[0].Stream {
+		t.Errorf("key 0 landed on stream %d, want meta stream %d", meta.Stream(), shards[0].Stream)
+	}
+
+	// Routing is deterministic, and reads route back by stream tag.
+	byKey := make(map[uint64]uint32)
+	for key := uint64(1); key <= 16; key++ {
+		lsn := appendKeyed(t, s, key, []byte(fmt.Sprintf("k%d", key)))
+		byKey[key] = lsn.Stream()
+		rec, err := s.Read(lsn)
+		if err != nil {
+			t.Fatalf("read %v: %v", lsn, err)
+		}
+		if !bytes.Equal(rec.Payload, []byte(fmt.Sprintf("k%d", key))) {
+			t.Errorf("read %v returned %q", lsn, rec.Payload)
+		}
+		if streams := s.StreamsFor(key); len(streams) != 1 || streams[0] != lsn.Stream() {
+			t.Errorf("StreamsFor(%d) = %v, append landed on %d", key, streams, lsn.Stream())
+		}
+	}
+	spread := make(map[uint32]bool)
+	for key, stream := range byKey {
+		lsn2 := appendKeyed(t, s, key, []byte("again"))
+		if lsn2.Stream() != stream {
+			t.Errorf("key %d moved from stream %d to %d", key, stream, lsn2.Stream())
+		}
+		spread[stream] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("16 keys all routed to %d stream(s); hashing is not spreading", len(spread))
+	}
+
+	// Reopen: same meta, same routing, records still there.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSet(dir, nil, 0) // 0 = keep existing layout
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.Shards()); got != 4 {
+		t.Fatalf("reopen with n=0: %d shards, want 4", got)
+	}
+	for key, stream := range byKey {
+		if lsn := appendKeyed(t, s2, key, []byte("post")); lsn.Stream() != stream {
+			t.Errorf("after reopen key %d routed to stream %d, want %d", key, lsn.Stream(), stream)
+		}
+	}
+}
+
+// TestOpenSetLegacyUpgrade: sharding an existing single-stream log
+// keeps the old records in stream 0 (era 0) and appends a new era for
+// fresh appends — the in-place upgrade path.
+func TestOpenSetLegacyUpgrade(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p.log")
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyLSN, err := l.Append(1, []byte("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ForceTo(legacyLSN); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSet(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	shards := s.Shards()
+	if len(shards) != 5 {
+		t.Fatalf("upgraded set has %d shards, want 5 (legacy + 4)", len(shards))
+	}
+	if shards[0].Stream != 0 || shards[0].Era != 0 {
+		t.Fatalf("first shard is stream %d era %d, want the legacy stream 0", shards[0].Stream, shards[0].Era)
+	}
+	for i := 1; i <= 4; i++ {
+		if shards[i].Stream != uint32(i) || shards[i].Era != 1 {
+			t.Errorf("shard %d: stream %d era %d, want stream %d era 1", i, shards[i].Stream, shards[i].Era, i)
+		}
+	}
+	// The legacy record is still readable at its untagged LSN.
+	rec, err := s.Read(legacyLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Payload, []byte("old")) {
+		t.Errorf("legacy record reads %q", rec.Payload)
+	}
+	// New appends land in the new era, never stream 0.
+	for key := uint64(1); key <= 8; key++ {
+		if lsn := appendKeyed(t, s, key, []byte("new")); lsn.Stream() == 0 {
+			t.Errorf("post-upgrade append for key %d landed in the legacy stream", key)
+		}
+		if streams := s.StreamsFor(key); len(streams) != 2 || streams[0] != 0 {
+			t.Errorf("StreamsFor(%d) = %v, want [0, new-era stream]", key, streams)
+		}
+	}
+}
+
+// TestOpenSetReshard: changing the shard count appends an era with
+// fresh stream IDs; reopening with 0 or the same count does not.
+func TestOpenSetReshard(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p.log")
+	s, err := OpenSet(dir, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendKeyed(t, s, 7, []byte("era0"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSet(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := s2.Shards()
+	if len(shards) != 6 {
+		t.Fatalf("resharded set has %d shards, want 6 (2 + 4)", len(shards))
+	}
+	want := []struct {
+		stream uint32
+		era    int
+	}{{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 1}, {6, 1}}
+	for i, w := range want {
+		if shards[i].Stream != w.stream || shards[i].Era != w.era {
+			t.Errorf("shard %d: stream %d era %d, want stream %d era %d",
+				i, shards[i].Stream, shards[i].Era, w.stream, w.era)
+		}
+	}
+	if lsn := appendKeyed(t, s2, 7, []byte("era1")); lsn.Stream() < 3 {
+		t.Errorf("post-reshard append landed on old-era stream %d", lsn.Stream())
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same count and zero both keep the layout.
+	for _, n := range []int{0, 4} {
+		s3, err := OpenSet(dir, nil, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s3.Shards()); got != 6 {
+			t.Errorf("reopen with n=%d: %d shards, want 6", n, got)
+		}
+		s3.Close()
+	}
+}
+
+// TestOpenSetShardBound: shard counts past the LSN tag space are
+// rejected up front.
+func TestOpenSetShardBound(t *testing.T) {
+	if _, err := OpenSet(filepath.Join(t.TempDir(), "p.log"), nil, ids.MaxStream+1); err == nil {
+		t.Fatal("OpenSet accepted a shard count past the stream tag space")
+	}
+}
+
+// TestSetSyncRouting: SyncTo touches only the target LSN's shard;
+// SyncAll makes every appendable shard durable.
+func TestSetSyncRouting(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p.log")
+	s, err := OpenSet(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Find two keys on different streams.
+	a := appendKeyed(t, s, 1, []byte("a"))
+	var b ids.LSN
+	for key := uint64(2); ; key++ {
+		b = appendKeyed(t, s, key, []byte("b"))
+		if b.Stream() != a.Stream() {
+			break
+		}
+	}
+	if _, err := s.SyncTo(a); err != nil {
+		t.Fatal(err)
+	}
+	// The synced watermark is an exclusive end position: a record is
+	// durable once the watermark passes the shard's End() after it.
+	la, lb := s.byStr[a.Stream()], s.byStr[b.Stream()]
+	if la.SyncedLSN() < la.End() {
+		t.Errorf("shard %d synced watermark %v, want >= %v", a.Stream(), la.SyncedLSN(), la.End())
+	}
+	if lb.SyncedLSN() >= lb.End() {
+		t.Errorf("SyncTo(%v) also forced shard %d (synced %v)", a, b.Stream(), lb.SyncedLSN())
+	}
+	if _, err := s.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if lb.SyncedLSN() < lb.End() {
+		t.Errorf("SyncAll left shard %d at %v, want >= %v", b.Stream(), lb.SyncedLSN(), lb.End())
+	}
+}
+
+// TestWellKnownMarksFormats: the marks vector round-trips; a
+// single-stream vector writes the legacy v1 bytes bit-for-bit; v1
+// files load as a stream-0 vector; LoadWellKnownLSN refuses v2.
+func TestWellKnownMarksFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	// {0: lsn} must be byte-identical to SaveWellKnownLSN.
+	v1Path := filepath.Join(dir, "v1.wk")
+	marksPath := filepath.Join(dir, "marks.wk")
+	if err := SaveWellKnownLSN(v1Path, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWellKnownMarks(marksPath, map[uint32]ids.LSN{0: 4242}); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(v1Path)
+	b2, _ := os.ReadFile(marksPath)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("single-stream marks file differs from the v1 format:\n  v1    % x\n  marks % x", b1, b2)
+	}
+	if m, err := LoadWellKnownMarks(v1Path); err != nil || len(m) != 1 || m[0] != 4242 {
+		t.Errorf("v1 file loads as marks %v, %v; want {0:4242}", m, err)
+	}
+
+	// Multi-stream vector round-trips through v2.
+	want := map[uint32]ids.LSN{
+		1: ids.StreamLSN(1, 100),
+		2: ids.StreamLSN(2, 16),
+		7: ids.StreamLSN(7, 99999),
+	}
+	v2Path := filepath.Join(dir, "v2.wk")
+	if err := SaveWellKnownMarks(v2Path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWellKnownMarks(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d marks, want %d", len(got), len(want))
+	}
+	for s, l := range want {
+		if got[s] != l {
+			t.Errorf("stream %d mark %v, want %v", s, got[s], l)
+		}
+	}
+	if _, err := LoadWellKnownLSN(v2Path); err == nil {
+		t.Error("LoadWellKnownLSN accepted a v2 vector file")
+	}
+
+	// Corruption is ErrNoWellKnown, not garbage.
+	raw, _ := os.ReadFile(v2Path)
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(v2Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWellKnownMarks(v2Path); err != ErrNoWellKnown {
+		t.Errorf("corrupt v2 file: err = %v, want ErrNoWellKnown", err)
+	}
+}
+
+// TestSetDiscardAndEmpty: Discard drops every shard's unforced tail;
+// Empty is true only when no stream holds a record.
+func TestSetDiscardAndEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p.log")
+	s, err := OpenSet(dir, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Error("fresh set is not Empty")
+	}
+	forced := appendKeyed(t, s, 1, []byte("durable"))
+	if err := s.ForceTo(forced); err != nil {
+		t.Fatal(err)
+	}
+	var unforcedKey uint64
+	for key := uint64(2); ; key++ {
+		if lsn := appendKeyed(t, s, key, []byte("volatile")); lsn.Stream() != forced.Stream() {
+			unforcedKey = key
+			break
+		}
+	}
+	if s.Empty() {
+		t.Error("set with records reports Empty")
+	}
+	if err := s.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSet(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Read(forced); err != nil {
+		t.Errorf("forced record lost by Discard: %v", err)
+	}
+	unforcedStream := s2.StreamsFor(unforcedKey)[0]
+	if !s2.byStr[unforcedStream].Empty() {
+		t.Errorf("unforced shard %d still holds records after Discard", unforcedStream)
+	}
+}

@@ -69,6 +69,18 @@ type Stats struct {
 	Segments int
 	// TrimmedBytes counts log space reclaimed by TrimHead.
 	TrimmedBytes int64
+	// AppendBusyNanos is the cumulative wall time spent inside the
+	// append critical section (encode, frame, roll) with the log mutex
+	// held. One mutex admits one append at a time, so total appends
+	// divided by the busiest shard's AppendBusyNanos bounds the append
+	// throughput a partitioned log can sustain — independent of how
+	// many CPUs the measuring host happens to have.
+	AppendBusyNanos int64
+	// SyncBusyNanos is the cumulative wall time of device flush+sync
+	// operations on this log's files. Together with AppendBusyNanos it
+	// is the busy time of the shard's serial resources (one append
+	// mutex, one device file).
+	SyncBusyNanos int64
 }
 
 const (
@@ -121,6 +133,12 @@ type Log struct {
 	dir          string
 	model        disk.Model
 	segmentBytes int64
+	// base is where this log's LSN space starts: firstLSN for a plain
+	// single-stream log, ids.StreamLSN(stream, 16) for a shard stream
+	// owned by a Set. Segment names, watermarks and record LSNs are all
+	// natively stream-qualified; a stream-0 log is bit-for-bit the
+	// legacy format.
+	base ids.LSN
 
 	mu       sync.Mutex
 	segs     []*segment // ascending by start; last is active
@@ -142,6 +160,13 @@ type Log struct {
 // whose physical writes and syncs are accounted to model. A nil model
 // means disk.HostModel.
 func Open(dir string, model disk.Model) (*Log, error) {
+	return openLog(dir, model, firstLSN)
+}
+
+// openLog opens a log whose LSN space starts at base (the stream-
+// qualified first position; see Log.base). Open passes firstLSN; Set
+// opens each shard stream at ids.StreamLSN(stream, 16).
+func openLog(dir string, model disk.Model, base ids.LSN) (*Log, error) {
 	if model == nil {
 		model = disk.HostModel{}
 	}
@@ -152,6 +177,7 @@ func Open(dir string, model disk.Model) (*Log, error) {
 		dir:          dir,
 		model:        model,
 		segmentBytes: DefaultSegmentBytes,
+		base:         base,
 		unsynced:     make(map[*segment]bool),
 		m:            obs.WALView(obs.Default()),
 	}
@@ -187,17 +213,21 @@ func (l *Log) load() error {
 	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 
 	if len(starts) == 0 {
-		seg, err := l.createSegment(firstLSN)
+		seg, err := l.createSegment(l.base)
 		if err != nil {
 			return err
 		}
 		l.segs = []*segment{seg}
-		l.bufBase = firstLSN
-		l.synced = firstLSN
+		l.bufBase = l.base
+		l.synced = l.base
 		return nil
 	}
 
 	for i, start := range starts {
+		if start.Stream() != l.base.Stream() {
+			return fmt.Errorf("wal: segment %v belongs to stream %d, log is stream %d",
+				start, start.Stream(), l.base.Stream())
+		}
 		seg, err := l.openSegment(start)
 		if err != nil {
 			return err
@@ -332,7 +362,10 @@ func (l *Log) Append(t RecordType, payload []byte) (ids.LSN, error) {
 	if l.closed {
 		return ids.NilLSN, ErrClosed
 	}
-	return l.appendLocked(t, payload)
+	start := time.Now()
+	lsn, err := l.appendLocked(t, payload)
+	l.stats.AppendBusyNanos += time.Since(start).Nanoseconds()
+	return lsn, err
 }
 
 func (l *Log) appendLocked(t RecordType, payload []byte) (ids.LSN, error) {
@@ -378,20 +411,23 @@ func (l *Log) appendLocked(t RecordType, payload []byte) (ids.LSN, error) {
 	return lsn, nil
 }
 
-// AppendInto appends a record whose payload is produced by enc, which
-// must append the payload bytes to the slice it is given and return
-// the extended slice. The payload is built in a grow-only scratch
-// buffer the log owns and framed from there, so the encode+append path
+// AppendInto appends a record whose payload is produced by enc (see
+// PayloadEncoder). The payload is built in a grow-only scratch buffer
+// the log owns and framed from there, so the encode+append path
 // allocates nothing in steady state. enc runs under the log mutex: it
 // must not call back into the log, and must not retain the slice it is
 // given or the one it returns.
-func (l *Log) AppendInto(t RecordType, enc func(dst []byte) ([]byte, error)) (ids.LSN, error) {
+//
+// key is the record's routing key (the Writer contract); a single Log
+// is one stream, so it ignores the key and every record lands here.
+func (l *Log) AppendInto(key uint64, t RecordType, enc PayloadEncoder) (ids.LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ids.NilLSN, ErrClosed
 	}
-	payload, err := enc(l.encBuf[:0])
+	start := time.Now()
+	payload, err := enc.AppendPayload(l.encBuf[:0])
 	if err != nil {
 		return ids.NilLSN, err
 	}
@@ -403,7 +439,9 @@ func (l *Log) AppendInto(t RecordType, enc func(dst []byte) ([]byte, error)) (id
 	} else {
 		l.encBuf = nil
 	}
-	return l.appendLocked(t, payload)
+	lsn, err := l.appendLocked(t, payload)
+	l.stats.AppendBusyNanos += time.Since(start).Nanoseconds()
+	return lsn, err
 }
 
 // flushLocked writes the buffer into the active segment without
@@ -446,11 +484,16 @@ const (
 	SyncCombined
 )
 
-// Force makes every appended record stable. It is a tail alias of
-// ForceTo: callers that know the LSN of the last record they care
-// about should prefer ForceTo and stop over-waiting on records they
-// did not write. Forcing a clean log is free and not counted in
-// Stats.Forces.
+// Force makes every appended record stable. Forcing a clean log is
+// free and not counted in Stats.Forces.
+//
+// Deprecated: Force is the bare whole-tail alias that predates the
+// LSN-aware Writer API. Callers that know the LSN of the last record
+// they care about should use ForceTo or SyncTo and stop over-waiting
+// on records they did not write; callers that really mean "everything"
+// should use SyncAll, whose outcome feeds the per-site force
+// accounting. The forcesite analyzer reports Force calls outside test
+// files.
 func (l *Log) Force() error {
 	_, err := l.SyncAll()
 	return err
@@ -601,6 +644,7 @@ func (l *Log) syncLocked() (bool, error) {
 		l.synced = target
 	}
 	l.stats.Forces++
+	l.stats.SyncBusyNanos += time.Since(start).Nanoseconds()
 	l.m.Forces.Inc()
 	l.m.ForceMicros.Observe(time.Since(start).Microseconds())
 	return true, nil
@@ -631,6 +675,27 @@ func (l *Log) Start() ids.LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.segs[0].start
+}
+
+// Empty reports whether the log has no records at all (fresh log,
+// nothing ever appended or everything trimmed).
+func (l *Log) Empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bufBase+ids.LSN(len(l.buf)) == l.segs[0].start
+}
+
+// Shards returns the log's shard streams in era order. A single Log is
+// its own only stream.
+func (l *Log) Shards() []Shard {
+	return []Shard{{Stream: l.base.Stream(), Log: l}}
+}
+
+// StreamsFor returns the streams, one per era in era order, that
+// records with the given routing key were (or would be) appended to. A
+// single Log has one era and one stream.
+func (l *Log) StreamsFor(key uint64) []uint32 {
+	return []uint32{l.base.Stream()}
 }
 
 // findSegment returns the segment containing lsn, or nil.

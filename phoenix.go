@@ -64,8 +64,8 @@ type (
 	Process = core.Process
 	// Config holds the per-process runtime switches: logging mode,
 	// specialized types, multi-call optimization, checkpoint policies,
-	// group-commit batching (Config.GroupCommit), and recovery
-	// parallelism (Config.Recovery).
+	// group-commit batching (Config.GroupCommit), log sharding
+	// (Config.WAL), and recovery parallelism (Config.Recovery).
 	Config = core.Config
 	// GroupCommit is the nested Config.GroupCommit section: Enabled
 	// routes the process log's forces through a dedicated flusher
@@ -74,6 +74,18 @@ type (
 	// and MaxBatch the batch cap (0 = 64). The zero value disables
 	// batching — forces sync inline and combine only opportunistically.
 	GroupCommit = core.GroupCommit
+	// WALConfig is the nested Config.WAL section: Shards > 1 partitions
+	// the process log into that many shard streams keyed by the
+	// appending context, each with its own files, append mutex,
+	// group-commit flusher and synced watermark; WALConfig.GroupCommit
+	// configures the per-shard flushers (falling back to the top-level
+	// Config.GroupCommit). The zero value keeps the single-stream log,
+	// bit-for-bit today's on-disk format.
+	WALConfig = core.WALConfig
+	// ShardLogStat pairs one log shard's stream ID with its activity
+	// counters (Process.ShardLogStats); a single-stream log reports
+	// one entry.
+	ShardLogStat = core.ShardLogStat
 	// Recovery is the nested Config.Recovery section: Parallelism > 0
 	// partitions recovery's Pass 2 by context — one log reader
 	// demultiplexes message records into per-context replay queues
