@@ -1,8 +1,8 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress shard-stress bench bench-smoke
+.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress shard-stress lazy-stress bench bench-smoke
 
-ci: vet lint build test race stress recovery-stress shard-stress
+ci: vet lint build test race stress recovery-stress shard-stress lazy-stress
 
 vet:
 	go vet ./...
@@ -54,6 +54,15 @@ shard-stress:
 	go test -race -count=2 -run 'OpenSet|SetSync|SetDiscard|WellKnownMarks' ./internal/wal/
 	go test -race -count=2 -run 'ShardedRecoveryEquivalence|MixedEraRecovery' ./internal/core/
 	go run ./cmd/phoenix-bench -experiment groupcommit -scale 0.02 -calls 20 -concurrency 8 -wal-shards 4
+
+# Lazy-admission stress under the race detector: on-demand replays
+# racing the background drainers across the mode × shards ×
+# parallelism × crash-point equivalence matrix (including the
+# mixed-era upgrade log), plus the crash-mid-drain and first-touch
+# suites, and the lazy-vs-eager bench cell on a compressed clock.
+lazy-stress:
+	go test -race -count=2 -run 'Lazy' ./internal/core/
+	go run ./cmd/phoenix-bench -experiment lazyrecovery -scale 0.05 -metrics=false
 
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30

@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/bookstore", "forces"},
 		{"./examples/faultdemo", "transfers applied exactly once, money conserved"},
 		{"./examples/checkpointing", "replays only the log suffix"},
+		{"./examples/lazyrecovery", "serves the first call before the backlog finishes replaying"},
 		{"./examples/pipeline", "every order recorded exactly once"},
 	}
 	for _, tc := range cases {

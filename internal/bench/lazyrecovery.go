@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	phoenix "repro"
+)
+
+// Lazy admission — perceived downtime under skewed traffic: one
+// process hosts 64 contexts with replay backlogs, but 4 of them take
+// 99% of post-restart traffic. Eager recovery makes every caller wait
+// for the full Pass-2 replay; lazy admission opens after Pass 1 and
+// replays per context on first touch, so the hot set is serving while
+// the cold 60 contexts drain in the background. The experiment
+// restarts the same crashed image both ways and reports what a client
+// actually feels: time-to-first-call and the first-touch latency
+// distribution.
+func init() {
+	register(&Experiment{
+		ID:    "lazyrecovery",
+		Title: "Lazy admission: time-to-first-call under 99%-hot-4 traffic",
+		Run:   runLazyRecovery,
+	})
+}
+
+const (
+	lazyContexts = 64
+	lazyHot      = 4
+	lazyCalls    = 3    // calls logged per context pre-crash
+	lazyWorkUS   = 1000 // per-call replay cost, microseconds
+	lazySamples  = 400  // post-restart traffic sample
+)
+
+func runLazyRecovery(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID: "LazyRecovery",
+		Title: fmt.Sprintf(
+			"Lazy admission: %d contexts x %d calls (%d µs replay each), %d hot contexts take 99%% of traffic",
+			lazyContexts, lazyCalls, lazyWorkUS, lazyHot),
+		Cols: []string{"Mode", "Restart block (ms)", "TTFC (ms)", "First-touch p50 (ms)",
+			"First-touch p99 (ms)", "On-demand", "Background", "Calls replayed"},
+		Notes: []string{
+			"Restart block is how long StartProcess held traffic out; TTFC is recovery start to the first admitted call (RecoveryStats.TimeToFirstCallNanos)",
+			"first-touch latency is each context's first post-restart call, p50/p99 over the 99%-hot-4 sample plus one cold sweep",
+			"replayed calls are identical across modes — lazy changes when replay runs, never what it computes",
+		},
+	}
+	for _, mode := range []phoenix.RecoveryMode{phoenix.RecoveryEager, phoenix.RecoveryLazy} {
+		row, err := runLazyRecoveryCell(o, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lazyrecovery %v: %w", mode, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func runLazyRecoveryCell(o Options, mode phoenix.RecoveryMode) ([]string, error) {
+	ec := localEnv()
+	ec.hostDisk = true // replay cost, not media, is under measurement
+	e, err := newEnv(o, ec)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	m, err := e.u.AddMachine("evo1")
+	if err != nil {
+		return nil, err
+	}
+	cfg := benchConfig(phoenix.LogOptimized, true)
+	cfg.Recovery = phoenix.RecoveryConfig{Mode: mode, Parallelism: 2}
+	proc := uniqueProc("plazy")
+	p, err := m.StartProcess(proc, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the backlog, one client goroutine per context.
+	uris := make([]phoenix.URI, lazyContexts)
+	for i := range uris {
+		h, err := p.Create(fmt.Sprintf("Ctx%d", i), &ReplayServer{})
+		if err != nil {
+			return nil, err
+		}
+		uris[i] = h.URI()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, lazyContexts)
+	for _, uri := range uris {
+		wg.Add(1)
+		go func(r *phoenix.Ref) {
+			defer wg.Done()
+			for c := 0; c < lazyCalls; c++ {
+				if _, err := r.Call("Work", lazyWorkUS); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(e.u.ExternalRef(uri))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	p.Crash()
+
+	var p2 *phoenix.Process
+	restart, err := e.elapsed(func() error {
+		var err error
+		p2, err = m.StartProcess(proc, cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p2.Close()
+
+	// Post-restart traffic: 99% of calls hit the hot set, driven by a
+	// deterministic LCG so both modes replay the same arrival order.
+	// Work(0) touches without simulated replay cost, so the measured
+	// latency is admission wait (lazy on-demand replay) plus transport.
+	refs := make([]*phoenix.Ref, lazyContexts)
+	for i, uri := range uris {
+		refs[i] = e.u.ExternalRef(uri)
+	}
+	var touches []time.Duration
+	rng := uint64(o.Seed)
+	for s := 0; s < lazySamples; s++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		i := int(rng>>33) % lazyHot
+		if (rng>>20)%100 == 0 { // the 1% cold tail
+			i = lazyHot + int(rng>>33)%(lazyContexts-lazyHot)
+		}
+		d, err := e.elapsed(func() error {
+			_, err := refs[i].Call("Work", 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		touches = append(touches, d)
+	}
+	// Cold sweep: every context's first touch lands in the sample even
+	// if the skewed traffic never reached it (most of the cold 60).
+	for _, ref := range refs {
+		d, err := e.elapsed(func() error {
+			_, err := ref.Call("Work", 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		touches = append(touches, d)
+	}
+	if err := p2.DrainRecovery(); err != nil {
+		return nil, err
+	}
+
+	// Sanity: every context replayed its whole backlog. The traffic
+	// sample added live Work(0) calls on top, so N >= the backlog.
+	for i := 0; i < lazyContexts; i++ {
+		h, ok := p2.Lookup(fmt.Sprintf("Ctx%d", i))
+		if !ok {
+			return nil, fmt.Errorf("context Ctx%d lost in recovery", i)
+		}
+		if got := h.Object().(*ReplayServer).N; got < lazyCalls {
+			return nil, fmt.Errorf("Ctx%d recovered N = %d, want >= %d", i, got, lazyCalls)
+		}
+	}
+	stats, ok := p2.LastRecovery()
+	if !ok {
+		return nil, fmt.Errorf("restarted process reports no recovery run")
+	}
+	sort.Slice(touches, func(i, j int) bool { return touches[i] < touches[j] })
+	p50 := touches[len(touches)/2]
+	p99 := touches[len(touches)*99/100]
+	return []string{
+		fmt.Sprintf("%v", mode),
+		ms(restart),
+		ms(time.Duration(stats.TimeToFirstCallNanos)),
+		ms(p50),
+		ms(p99),
+		fmt.Sprintf("%d", stats.ContextsOnDemand),
+		fmt.Sprintf("%d", stats.ContextsBackground),
+		fmt.Sprintf("%d", stats.CallsReplayed),
+	}, nil
+}

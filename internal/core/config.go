@@ -47,6 +47,38 @@ type WALConfig struct {
 	GroupCommit GroupCommit
 }
 
+// RecoveryMode selects when recovery's Pass-2 replay runs relative to
+// the process admitting traffic (Config.Recovery.Mode).
+type RecoveryMode int
+
+const (
+	// RecoveryEager is the classic two-phase restart: the process
+	// replays every context's backlog before serving any call. The
+	// zero value — existing behavior, bit for bit.
+	RecoveryEager RecoveryMode = iota
+	// RecoveryLazy opens the process for traffic as soon as Pass 1 has
+	// rebuilt the context tables and restart LSNs. A call arriving at
+	// an unreplayed context triggers on-demand replay of just that
+	// context's backlog (blocking only that call; concurrent arrivals
+	// wait on the same replay), while a background replayer drains the
+	// remaining contexts in traffic-hotness order, per shard stream,
+	// under the Parallelism worker semaphore.
+	RecoveryLazy
+)
+
+// String names the mode. Out-of-range values render as a stable
+// "RecoveryMode(<n>)" rather than masquerading as a real mode.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoveryEager:
+		return "eager"
+	case RecoveryLazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", int(m))
+	}
+}
+
 // Recovery configures crash recovery's replay engine (Config.Recovery).
 // Pass 1 (finding contexts and restart LSNs) is always a single
 // sequential scan — it is cheap and builds the maps Pass 2 needs. With
@@ -57,13 +89,23 @@ type WALConfig struct {
 // their replays need no mutual ordering. The tail calls (each
 // context's final buffered incoming call) still replay sequentially in
 // log order, preserving the serial path's cross-context resumption
-// argument. The zero value keeps today's strictly serial two-pass
-// replay, bit for bit.
+// argument. Mode selects when Pass 2 runs at all: eagerly before the
+// process admits traffic, or lazily per context after it. The zero
+// value keeps today's strictly serial eager two-pass replay, bit for
+// bit.
 type Recovery struct {
+	// Mode schedules Pass 2: RecoveryEager (the zero value) replays
+	// everything before the process serves calls; RecoveryLazy admits
+	// traffic after Pass 1 and replays each context's backlog on first
+	// touch or from the background drain.
+	Mode RecoveryMode
 	// Parallelism bounds how many context replays execute concurrently
-	// during Pass 2. 0 selects the serial scan-and-replay path;
-	// 1 runs the partitioned engine with a single worker slot (same
-	// order of work, pipelined behind the reader).
+	// during Pass 2. In eager mode 0 selects the serial
+	// scan-and-replay path; 1 runs the partitioned engine with a
+	// single worker slot (same order of work, pipelined behind the
+	// reader). In lazy mode it is the worker-slot count bounding
+	// concurrent per-context backlog replays — on-demand and
+	// background alike — and 0 means one slot.
 	Parallelism int
 	// QueueDepth bounds each context's replay queue — records buffered
 	// between the demux reader and that context's replayer. A full

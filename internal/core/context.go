@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
@@ -33,6 +34,11 @@ type Context struct {
 	// finishes ("the context begins to wait for incoming calls",
 	// Section 4.4).
 	ready chan struct{}
+
+	// arrivals counts calls that reached this context while it awaited
+	// lazy replay — the background drain's hotness signal (hottest
+	// pending context replays first).
+	arrivals atomic.Int64
 
 	// Execution state below is owned by the goroutine holding mu (or
 	// by the single recovery goroutine during replay).

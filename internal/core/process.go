@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/ids"
@@ -72,6 +73,21 @@ type Process struct {
 	// run, nil before any recovery has happened.
 	recMu        sync.Mutex
 	lastRecovery *RecoveryStats
+
+	// lazy is the in-flight lazy recovery engine (Recovery.Mode =
+	// RecoveryLazy), attached at admission and detached when the drain
+	// completes cleanly; nil otherwise, so the serve hot path pays one
+	// atomic pointer load.
+	lazy atomic.Pointer[lazyRecovery]
+
+	// Time-to-first-call accounting: restore() arms the stamp at
+	// recovery start (ttfcBase = universe-clock nanos), and the serve
+	// path's first call past a ready gate disarms it and records the
+	// latency — with lazy admission that is the headline "perceived
+	// downtime" number.
+	ttfcArmed atomic.Bool
+	ttfcBase  atomic.Int64
+	ttfcNanos atomic.Int64
 
 	// pendingCkpt is the begin-LSN of a checkpoint written but not yet
 	// covered by a force; the first force whose stable watermark moves
@@ -185,7 +201,54 @@ func (p *Process) LastRecovery() (RecoveryStats, bool) {
 	if p.lastRecovery == nil {
 		return RecoveryStats{}, false
 	}
-	return *p.lastRecovery, true
+	s := *p.lastRecovery
+	// The first post-recovery call may land after the stats were
+	// published (always, for eager mode); merge the stamp in here so
+	// callers see it as soon as it exists.
+	if n := p.ttfcNanos.Load(); n > 0 {
+		s.TimeToFirstCallNanos = n
+	}
+	return s, true
+}
+
+// armFirstCall starts the time-to-first-call clock at recovery begin.
+func (p *Process) armFirstCall(start time.Time) {
+	p.ttfcBase.Store(start.UnixNano())
+	p.ttfcNanos.Store(0)
+	p.ttfcArmed.Store(true)
+}
+
+// noteFirstCall stamps time-to-first-call once per recovery: the first
+// incoming call admitted past its context's ready gate. The steady
+// state (disarmed) costs one atomic load on the serve path.
+func (p *Process) noteFirstCall() {
+	if !p.ttfcArmed.Load() || !p.ttfcArmed.CompareAndSwap(true, false) {
+		return
+	}
+	d := p.u.cfg.Clock.Now().UnixNano() - p.ttfcBase.Load()
+	if d <= 0 {
+		d = 1 // clock granularity; "armed and called" must read as >0
+	}
+	p.ttfcNanos.Store(d)
+	if p.cfg.Recovery.Mode == RecoveryLazy {
+		p.obs.RecoveryLazyTTFCMicros.Observe(d / 1000)
+	}
+}
+
+// DrainRecovery blocks until a lazy recovery's background drain has
+// replayed every context (or the process crashes mid-drain), returning
+// the first replay failure if any. Eager mode — where recovery
+// completed before the process came up — and a process that never
+// recovered return immediately.
+func (p *Process) DrainRecovery() error {
+	lr := p.lazy.Load()
+	if lr == nil {
+		return nil
+	}
+	<-lr.done
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.firstErr
 }
 
 func (p *Process) setLastRecovery(s RecoveryStats) {
@@ -728,6 +791,9 @@ func (p *Process) Crash() {
 	p.log.Discard()
 	p.dumpFlightRecorder()
 	p.markStarted() // release any waiters; they will see the crash
+	if lr := p.lazy.Load(); lr != nil {
+		lr.stop()
+	}
 	p.emit(EventCrash, "", "")
 	p.m.svc.NotifyCrash(p.name)
 }
@@ -781,6 +847,9 @@ func (p *Process) Close() {
 		p.u.cfg.Net.Unlisten(p.addr)
 		p.listening.Store(false)
 		p.markStarted()
+		if lr := p.lazy.Load(); lr != nil {
+			lr.stop()
+		}
 		p.log.Close()
 	}
 }

@@ -59,13 +59,53 @@ type RecoveryStats struct {
 	// (min(Config.Recovery.Parallelism, contexts with records));
 	// 0 means the serial path ran.
 	WorkersUsed int
+	// Mode is the recovery mode this run executed under.
+	Mode RecoveryMode
+	// TimeToFirstCallNanos is the universe-clock time from recovery
+	// start to the first incoming call admitted past the ready gate
+	// after the restart (0 until such a call arrives). In eager mode
+	// that is at least the full replay time; in lazy mode it is
+	// typically Pass 1 plus one context's backlog.
+	TimeToFirstCallNanos int64
+	// ContextsOnDemand counts lazy-mode contexts whose backlog was
+	// replayed because a call touched them; ContextsBackground counts
+	// contexts drained by the background replayer. Both are 0 in eager
+	// mode.
+	ContextsOnDemand   int
+	ContextsBackground int
+	// CtxReplayMaxNanos and CtxReplayTotalNanos summarize lazy-mode
+	// per-context backlog replay latency on the universe clock (the
+	// full distribution is the recovery.lazy.ctx_replay_micros
+	// histogram). Both are 0 in eager mode.
+	CtxReplayMaxNanos   int64
+	CtxReplayTotalNanos int64
 }
 
-// recover restores the process from its log. It runs before the
-// process starts listening, so no concurrent calls arrive.
-func (p *Process) recover() error {
+// restorePlan carries Pass-1 results across the restore/admit
+// lifecycle boundary: the contexts that were rebuilt, their restart
+// LSNs, and the in-progress stats and trace of the recovery run.
+// A nil plan means admission has nothing to replay.
+type restorePlan struct {
+	stats    RecoveryStats
+	recRun   trace.Ref
+	recStart time.Time // universe clock, recovery begin
+	recWall  time.Time // wall clock, for the recovery.* obs histograms
+	restart  map[ids.CompID]ids.LSN
+	restored []*Context
+}
+
+// restore is the explicit first lifecycle phase of a restart: Pass 1
+// of recovery. It scans the log from the well-known marks, rebuilds
+// the context tables and restart-LSN map, re-materializes every
+// context's components and seeds the last-call table — everything the
+// process needs to *route* traffic, but not yet the replayed state to
+// *serve* it (contexts stay unready). The returned plan feeds admit;
+// it is nil when there is nothing to replay. It runs before any
+// concurrent calls arrive at restored contexts (they block on the
+// per-context ready latches).
+func (p *Process) restore() (*restorePlan, error) {
 	if p.log.Empty() {
-		return nil // registered before, but nothing was ever logged
+		return nil, nil // registered before, but nothing was ever logged
 	}
 
 	// The well-known file is a per-stream watermark vector (a single
@@ -74,7 +114,7 @@ func (p *Process) recover() error {
 	// shard's era.
 	marks, err := wal.LoadWellKnownMarks(p.wkPath)
 	if err != nil && !errors.Is(err, wal.ErrNoWellKnown) {
-		return err
+		return nil, err
 	}
 	shards := p.log.Shards()
 	scanStart := func(sh wal.Shard) ids.LSN {
@@ -87,7 +127,11 @@ func (p *Process) recover() error {
 	p.obs.RecoveryRuns.Inc()
 	clock := p.u.cfg.Clock
 	var stats RecoveryStats
+	stats.Mode = p.cfg.Recovery.Mode
 	recStart, recWall := clock.Now(), time.Now()
+	// Arm the time-to-first-call measurement: the first call admitted
+	// past a ready gate after this point stamps RecoveryStats.
+	p.armFirstCall(recStart)
 	// The recovery run gets a trace of its own for its scan spans;
 	// replayed calls stitch to their original traces instead (see
 	// replayIncoming), so a timeline shows both the call's replay and
@@ -177,7 +221,7 @@ func (p *Process) recover() error {
 	// wins" comparisons above stay temporally correct across shards.
 	for _, sh := range shards {
 		if err := sh.Log.Scan(scanStart(sh), pass1); err != nil {
-			return fmt.Errorf("recovery pass 1: %w", err)
+			return nil, fmt.Errorf("recovery pass 1: %w", err)
 		}
 	}
 	p.recoverySpan(recRun, pass1TS)
@@ -190,7 +234,7 @@ func (p *Process) recover() error {
 		p.recovered = true
 		p.emitEvent(Event{Kind: EventRecoveryDone, Recovery: &stats,
 			Detail: "no contexts to restore"})
-		return nil
+		return nil, nil
 	}
 
 	// Restore every context from its restart record.
@@ -198,7 +242,7 @@ func (p *Process) recover() error {
 	for id, lsn := range restart {
 		cx, err := p.restoreContext(lsn)
 		if err != nil {
-			return fmt.Errorf("restore context %d: %w", id, err)
+			return nil, fmt.Errorf("restore context %d: %w", id, err)
 		}
 		restored = append(restored, cx)
 	}
@@ -206,6 +250,44 @@ func (p *Process) recover() error {
 	p.obs.RecoveryPass1Micros.Observe(time.Since(pass1Wall).Microseconds())
 	stats.ContextsRestored = len(restored)
 	stats.Pass1Duration = clock.Now().Sub(pass1Start)
+	return &restorePlan{
+		stats:    stats,
+		recRun:   recRun,
+		recStart: recStart,
+		recWall:  recWall,
+		restart:  restart,
+		restored: restored,
+	}, nil
+}
+
+// admit is the explicit second lifecycle phase of a restart: it takes
+// the restore plan and makes the process serve traffic. In eager mode
+// (the default) it replays every restored context's backlog first and
+// returns when the process is fully caught up — the classic blocking
+// Pass 2. In lazy mode it opens the floodgates immediately: contexts
+// stay unready until a call demands their replay or the background
+// drain reaches them, and admit returns as soon as the lazy engine is
+// armed. A nil plan (nothing restored) is a no-op.
+func (p *Process) admit(plan *restorePlan) error {
+	if plan == nil {
+		return nil
+	}
+	if p.cfg.Recovery.Mode == RecoveryLazy {
+		return p.admitLazy(plan)
+	}
+	return p.admitEager(plan)
+}
+
+// admitEager runs the blocking Pass 2 over the whole restore plan and
+// publishes the finished recovery stats. This is bit-for-bit the
+// pre-lazy recovery tail: serial or parallel replay per
+// Config.Recovery.Parallelism, tail-less contexts readied before the
+// tail calls run, every context ready on return.
+func (p *Process) admitEager(plan *restorePlan) error {
+	clock := p.u.cfg.Clock
+	stats := plan.stats
+	recRun, recStart, recWall := plan.recRun, plan.recStart, plan.recWall
+	restart, restored := plan.restart, plan.restored
 
 	// ---- Pass 2: replay incoming calls per context. ----
 	// Each stream scans from the lowest restart LSN it holds. A context
@@ -690,6 +772,18 @@ func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, repl
 	return nil
 }
 
+// replayContextBacklog is the per-context unit of Pass 2: a filtered
+// scan of the context's streams from its restart LSN, replaying only
+// its own incoming calls. It returns the records visited and the
+// context's tail call (if any) still buffered at the end — the caller
+// runs replayTails and marks the context ready. The log's cursors are
+// safe for concurrent use, so several contexts may replay their
+// backlogs at once (the lazy engine's worker slots bound how many).
+func (p *Process) replayContextBacklog(cx *Context, restart ids.LSN) (int64, []tailReplay, error) {
+	starts := p.pass2Starts(map[ids.CompID]ids.LSN{cx.parent.id: restart})
+	return p.replayFrom(starts, map[ids.CompID]bool{cx.parent.id: true})
+}
+
 // RecoverContext recovers a single failed context inside a live
 // process — the easier case at the end of Section 4.4: "The state
 // record LSN can be found in the context table and the state record
@@ -697,12 +791,22 @@ func (p *Process) replayIncoming(cx *Context, ir *incomingRec, lsn ids.LSN, repl
 // restored... Then the log after the state record is read and incoming
 // method calls for the context are replayed." The context must be
 // quiescent (its component "failed"; no calls in flight).
+//
+// During a lazy recovery it doubles as the API form of on-demand
+// replay: a context still waiting in the pending set has its backlog
+// replayed in place (Pass 1 already rebuilt its components), exactly
+// as if a call had touched it.
 func (p *Process) RecoverContext(name string) error {
 	p.mu.Lock()
 	old, ok := p.byName[name]
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: no component %q in process %s", name, p.name)
+	}
+	if lr := p.lazy.Load(); lr != nil {
+		if done, err := lr.recoverNow(old); done {
+			return err
+		}
 	}
 	restart := func() ids.LSN {
 		p.mu.Lock()

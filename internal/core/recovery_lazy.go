@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/obs/trace"
+)
+
+// This file is the lazy admission engine (Config.Recovery.Mode =
+// RecoveryLazy), the instant-restore/REDO-on-demand line applied to
+// Phoenix/App's per-context recovery: after Pass 1 has rebuilt the
+// context tables and restart LSNs, the process opens for traffic
+// immediately. Each restored context keeps its ready latch shut until
+// its own backlog has replayed; the first call to touch it claims the
+// context and replays just that backlog (concurrent arrivals wait on
+// the same latch), while background drainers work through the
+// remaining contexts hottest-first, per shard stream, under the
+// Parallelism worker slots. Correctness rests on what Pass 1 already
+// guarantees at admission time: the last-call table is fully seeded
+// (duplicate elimination works before any replay), restart LSNs are
+// not advanced until a context replays (a crash mid-drain loses
+// nothing), and a context's records live on one stream per era, so a
+// filtered per-context scan sees them in original order across the
+// era barrier exactly like the full Pass 2 would.
+
+// lazyPending is one restored-but-unreplayed context in the engine's
+// work set.
+type lazyPending struct {
+	cx      *Context
+	restart ids.LSN
+}
+
+// lazyRecovery coordinates one lazy recovery run. It lives in
+// Process.lazy from admission until the drain completes cleanly, so
+// the serve path's only steady-state cost is an atomic nil check.
+type lazyRecovery struct {
+	p    *Process
+	plan *restorePlan
+
+	// slots is the worker semaphore bounding concurrent backlog scans
+	// (on-demand and background alike). Tail replays run slot-free: a
+	// resumed tail may demand another context's replay, and must find
+	// a slot available rather than a starvation deadlock.
+	slots chan struct{}
+
+	admitStart time.Time // universe clock, admission point
+	admitWall  time.Time // wall clock, for the recovery.* histograms
+
+	mu        sync.Mutex
+	stopped   bool
+	pending   map[ids.CompID]*lazyPending // unclaimed contexts
+	remaining int                         // claimed-but-unfinished + pending
+	onDemand  int
+	background int
+	scanned    int64
+	replayMax   time.Duration
+	replayTotal time.Duration
+	failed      map[ids.CompID]error
+	firstErr    error
+
+	// owned is the immutable set of contexts this run started with
+	// (read-only after admitLazy publishes the engine).
+	owned map[ids.CompID]bool
+
+	// failures guards the post-ready failure lookup on the serve path:
+	// zero means no mutex needs taking.
+	failures atomic.Int32
+
+	stopCh    chan struct{} // closed by stop (crash/close mid-drain)
+	done      chan struct{} // closed when the drain finishes or stops
+	closeOnce sync.Once
+}
+
+// admitLazy arms the lazy engine and returns immediately: the process
+// serves traffic from here on, replaying context backlogs on first
+// touch while background drainers (one per shard stream holding
+// restart points) work through the cold set hottest-first.
+func (p *Process) admitLazy(plan *restorePlan) error {
+	slots := p.cfg.Recovery.Parallelism
+	if slots < 1 {
+		slots = 1
+	}
+	lr := &lazyRecovery{
+		p:          p,
+		plan:       plan,
+		slots:      make(chan struct{}, slots),
+		admitStart: p.u.cfg.Clock.Now(),
+		admitWall:  time.Now(),
+		pending:    make(map[ids.CompID]*lazyPending),
+		owned:      make(map[ids.CompID]bool),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	streams := make(map[uint32]bool)
+	for _, cx := range plan.restored {
+		select {
+		case <-cx.ready:
+			continue // stateless: ready since restoration, no backlog
+		default:
+		}
+		r := plan.restart[cx.parent.id]
+		lr.pending[cx.parent.id] = &lazyPending{cx: cx, restart: r}
+		lr.owned[cx.parent.id] = true
+		streams[r.Stream()] = true
+	}
+	lr.remaining = len(lr.pending)
+	p.recovered = true
+	p.lazy.Store(lr)
+	if lr.remaining == 0 {
+		lr.finalize()
+		return nil
+	}
+	for s := range streams {
+		go lr.drainStream(s)
+	}
+	return nil
+}
+
+// demand is the serve path's admission hook, called before the ready
+// gate: it bumps the context's traffic counter (the drain's hotness
+// signal) and, if the context is still unclaimed, replays its backlog
+// on this call's goroutine. Losing the claim race just means someone
+// else is replaying; the caller falls through to the ready latch.
+func (lr *lazyRecovery) demand(cx *Context, call *msg.Call) {
+	select {
+	case <-cx.ready:
+		return
+	default:
+	}
+	cx.arrivals.Add(1)
+	ent := lr.claim(cx.parent.id)
+	if ent == nil {
+		return
+	}
+	_ = lr.replayOne(ent, true, call.Trace, &call.Method)
+}
+
+// recoverNow is RecoverContext's entry into a live lazy run. A context
+// still pending replays in place (Pass 1 already rebuilt it); one
+// being replayed right now is waited for. handled=false means the
+// context is past lazy recovery (or was never part of it) and the
+// caller should run the classic restore-and-replay path.
+func (lr *lazyRecovery) recoverNow(cx *Context) (handled bool, err error) {
+	id := cx.parent.id
+	if ent := lr.claim(id); ent != nil {
+		return true, lr.replayOne(ent, true, trace.Ref{}, nil)
+	}
+	select {
+	case <-cx.ready:
+		return false, nil
+	default:
+	}
+	if lr.owned[id] {
+		<-cx.ready
+		return true, lr.replayFailure(id)
+	}
+	return false, nil
+}
+
+// claim removes id from the pending set; the caller that gets a
+// non-nil entry owns that context's replay (and its markReady).
+func (lr *lazyRecovery) claim(id ids.CompID) *lazyPending {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.stopped {
+		return nil
+	}
+	ent := lr.pending[id]
+	delete(lr.pending, id)
+	return ent
+}
+
+// claimHottest picks the pending context on the given stream with the
+// most observed arrivals (ties broken by lowest restart LSN, so the
+// order is deterministic under equal traffic) and claims it.
+func (lr *lazyRecovery) claimHottest(stream uint32) *lazyPending {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.stopped {
+		return nil
+	}
+	var best *lazyPending
+	var bestHot int64
+	for _, ent := range lr.pending {
+		if ent.restart.Stream() != stream {
+			continue
+		}
+		hot := ent.cx.arrivals.Load()
+		if best == nil || hot > bestHot || (hot == bestHot && ent.restart < best.restart) {
+			best, bestHot = ent, hot
+		}
+	}
+	if best != nil {
+		delete(lr.pending, best.cx.parent.id)
+	}
+	return best
+}
+
+// drainStream is one background replayer: it drains the pending
+// contexts whose restart points live on the given shard stream,
+// re-reading the hotness counters before each pick so traffic arriving
+// mid-drain reorders what is left.
+func (lr *lazyRecovery) drainStream(stream uint32) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				return // crashed mid-drain; stop() releases the waiters
+			}
+			panic(r)
+		}
+	}()
+	for !lr.p.crashed.Load() {
+		ent := lr.claimHottest(stream)
+		if ent == nil {
+			return
+		}
+		_ = lr.replayOne(ent, false, trace.Ref{}, nil)
+	}
+}
+
+// replayOne replays a claimed context's backlog: the filtered Pass-2
+// scan under a worker slot, then the tail call slot-free (it may
+// resume live execution and demand further contexts). It records the
+// per-context latency, marks the context ready — failure or not, so
+// waiters unblock and find the failure — and drops a demand-replay
+// span into the flight recorder, under the triggering call's trace
+// when there is one, else under the recovery run's own trace.
+func (lr *lazyRecovery) replayOne(ent *lazyPending, onDemand bool, tref trace.Ref, method *string) error {
+	p := lr.p
+	clock := p.u.cfg.Clock
+	start := clock.Now()
+	var tstart int64
+	if p.tr != nil {
+		tstart = p.tr.Now()
+	}
+	var scanned int64
+	var err error
+	ran := false
+	select {
+	case lr.slots <- struct{}{}:
+		ran = true
+		var tails []tailReplay
+		scanned, tails, err = p.replayContextBacklog(ent.cx, ent.restart)
+		<-lr.slots
+		if err == nil {
+			err = p.replayTails(tails)
+		}
+	case <-lr.stopCh:
+		// Stopping: fall through to markReady so waiters reach
+		// checkAlive and unwind instead of hanging on the latch.
+	}
+	lr.finishOne(ent, onDemand, ran, scanned, clock.Now().Sub(start), err)
+	ent.cx.markReady()
+	if p.tr != nil && ran {
+		parent := tref
+		if parent.IsZero() {
+			parent = lr.plan.recRun
+		}
+		if !parent.IsZero() {
+			p.tr.Record(trace.SpanData{
+				Ref:    trace.Ref{Trace: parent.Trace, Span: p.tr.NewSpan()},
+				Parent: parent.Span,
+				Stage:  trace.StageDemandReplay,
+				Start:  tstart,
+				End:    p.tr.Now(),
+				LSN:    uint64(ent.restart),
+				Proc:   &p.name,
+				Method: method,
+			})
+		}
+	}
+	return err
+}
+
+// finishOne folds one finished replay into the run's accounting and
+// triggers finalization when it was the last.
+func (lr *lazyRecovery) finishOne(ent *lazyPending, onDemand, ran bool, scanned int64, d time.Duration, err error) {
+	p := lr.p
+	lr.mu.Lock()
+	lr.remaining--
+	last := lr.remaining == 0
+	if ran {
+		lr.scanned += scanned
+		if onDemand {
+			lr.onDemand++
+		} else {
+			lr.background++
+		}
+		lr.replayTotal += d
+		if d > lr.replayMax {
+			lr.replayMax = d
+		}
+	}
+	if err != nil {
+		if lr.failed == nil {
+			lr.failed = make(map[ids.CompID]error)
+		}
+		lr.failed[ent.cx.parent.id] = err
+		if lr.firstErr == nil {
+			lr.firstErr = err
+		}
+		lr.failures.Add(1)
+	}
+	lr.mu.Unlock()
+	if ran {
+		if onDemand {
+			p.obs.RecoveryLazyOnDemand.Inc()
+		} else {
+			p.obs.RecoveryLazyBackground.Inc()
+		}
+		p.obs.RecoveryLazyCtxReplayMicros.Observe(d.Microseconds())
+	}
+	if last {
+		lr.finalize()
+	}
+}
+
+// replayFailure reports the replay error recorded for id, if any. The
+// fast path (no failures anywhere) is a single atomic load, so the
+// serve path stays cheap while the engine is attached.
+func (lr *lazyRecovery) replayFailure(id ids.CompID) error {
+	if lr.failures.Load() == 0 {
+		return nil
+	}
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.failed[id]
+}
+
+// finalize publishes the completed recovery: stats merged from the
+// restore plan and the drain's accounting, the recovery.* histograms,
+// and the EventRecoveryDone event — the same contract the eager path
+// satisfies before returning, delivered here when the last context
+// finishes. A clean run then detaches the engine from the process so
+// the serve path returns to a bare nil check; a run with failed
+// contexts stays attached, keeping the per-context errors addressable.
+func (lr *lazyRecovery) finalize() {
+	p := lr.p
+	if p.crashed.Load() {
+		lr.close()
+		return
+	}
+	clock := p.u.cfg.Clock
+	stats := lr.plan.stats
+	lr.mu.Lock()
+	stats.RecordsScanned += lr.scanned
+	stats.ContextsOnDemand = lr.onDemand
+	stats.ContextsBackground = lr.background
+	stats.CtxReplayMaxNanos = int64(lr.replayMax)
+	stats.CtxReplayTotalNanos = int64(lr.replayTotal)
+	failures := len(lr.failed)
+	lr.mu.Unlock()
+	stats.WorkersUsed = cap(lr.slots)
+	stats.Pass2Duration = clock.Now().Sub(lr.admitStart)
+	stats.TotalDuration = clock.Now().Sub(lr.plan.recStart)
+	if n := p.ttfcNanos.Load(); n > 0 {
+		stats.TimeToFirstCallNanos = n
+	}
+	replayed := p.replayedCalls.Load()
+	suppressed := p.suppressedCalls.Load()
+	stats.CallsReplayed = replayed
+	stats.CallsSuppressed = suppressed
+	p.obs.RecoveryPass2Micros.Observe(time.Since(lr.admitWall).Microseconds())
+	p.obs.RecoveryMicros.Observe(time.Since(lr.plan.recWall).Microseconds())
+	p.setLastRecovery(stats)
+	p.emitEvent(Event{
+		Kind:       EventRecoveryDone,
+		Restored:   len(lr.plan.restored),
+		Replayed:   replayed,
+		Suppressed: suppressed,
+		Recovery:   &stats,
+		Detail: fmt.Sprintf("%d contexts restored, %d replayed on demand, %d in background, %d calls replayed",
+			len(lr.plan.restored), stats.ContextsOnDemand, stats.ContextsBackground, replayed),
+	})
+	if failures == 0 {
+		p.lazy.CompareAndSwap(lr, nil)
+	}
+	lr.close()
+}
+
+// stop tears the engine down when the process crashes or closes
+// mid-drain: unclaimed contexts get their latches opened (waiters
+// proceed into checkAlive and unwind as unavailability), in-flight
+// replays see stopCh, and DrainRecovery waiters are released.
+func (lr *lazyRecovery) stop() {
+	lr.mu.Lock()
+	if lr.stopped {
+		lr.mu.Unlock()
+		return
+	}
+	lr.stopped = true
+	pend := lr.pending
+	lr.pending = nil
+	lr.mu.Unlock()
+	close(lr.stopCh)
+	for _, ent := range pend {
+		ent.cx.markReady()
+	}
+	lr.close()
+}
+
+func (lr *lazyRecovery) close() {
+	lr.closeOnce.Do(func() { close(lr.done) })
+}

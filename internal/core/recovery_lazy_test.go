@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// These tests pin the lazy admission contract (Recovery.Mode =
+// RecoveryLazy): recovering the same crashed log lazily — with calls
+// landing mid-drain, across shard layouts, parallelism levels, crash
+// injection points, and a mixed-era upgrade log — must converge on
+// component state, last-call tables, and replay/suppression counts
+// identical to the eager serial baseline. Lazy mode changes *when*
+// replay runs, never what it computes. Run under -race: on-demand
+// replays race the background drainers here by design.
+//
+// One deliberate exception: RecordsScanned is not compared across
+// modes. Lazy replays scan per context from that context's restart
+// LSN, so overlapping log regions are visited once per context rather
+// than once total — more records read, same records replayed.
+
+// recoverLazyCopy clones the crashed universe at srcDir and recovers
+// the "srv" process lazily. Contexts named in touch get a no-op call
+// (Add 0) immediately after admission — first-touch on-demand replays
+// racing the background drain — then the drain is awaited and the
+// outcome collected exactly like the eager harness does.
+func recoverLazyCopy(t *testing.T, srcDir string, counters, relays, touch []string, par int) recoveryOutcome {
+	t.Helper()
+	dst := t.TempDir()
+	copyDir(t, srcDir, dst)
+	u, err := NewUniverse(UniverseConfig{Dir: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Shutdown()
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Recovery = Recovery{Mode: RecoveryLazy, Parallelism: par, QueueDepth: 2}
+	p, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatalf("lazy par %d: restart: %v", par, err)
+	}
+	if !p.Recovered() {
+		t.Fatalf("lazy par %d: restarted process did not recover", par)
+	}
+	// Touch while the drain is running: Add(0) leaves counter state
+	// unchanged and external calls leave no last-call entries, so the
+	// equivalence comparison still holds bit for bit.
+	for _, name := range touch {
+		h, ok := p.Lookup(name)
+		if !ok {
+			t.Fatalf("lazy par %d: %s missing after Pass 1", par, name)
+		}
+		callInt(t, u.ExternalRef(h.URI()), "Add", 0)
+	}
+	if err := p.DrainRecovery(); err != nil {
+		t.Fatalf("lazy par %d: drain: %v", par, err)
+	}
+
+	out := recoveryOutcome{
+		counters:   make(map[string]int),
+		relayCalls: make(map[string]int),
+		suppressed: p.suppressedCalls.Load(),
+	}
+	for _, name := range counters {
+		h, ok := p.Lookup(name)
+		if !ok {
+			t.Fatalf("lazy par %d: counter %s missing after recovery", par, name)
+		}
+		out.counters[name] = h.Object().(*Counter).N
+	}
+	for _, name := range relays {
+		h, ok := p.Lookup(name)
+		if !ok {
+			t.Fatalf("lazy par %d: relay %s missing after recovery", par, name)
+		}
+		out.relayCalls[name] = h.Object().(*Relay).Calls
+	}
+	out.lastCalls = p.lastCalls.snapshot()
+	sortLastCalls(out.lastCalls)
+	stats, ok := p.LastRecovery()
+	if !ok {
+		t.Fatalf("lazy par %d: LastRecovery reported no run", par)
+	}
+	out.stats = stats
+	return out
+}
+
+func sortLastCalls(s []lastCallSaved) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Caller != s[j].Caller {
+			return fmt.Sprint(s[i].Caller) < fmt.Sprint(s[j].Caller)
+		}
+		return s[i].Seq < s[j].Seq
+	})
+}
+
+// assertLazyEquivalent compares a lazy recovery's outcome against the
+// eager serial baseline: everything assertEquivalent checks except
+// RecordsScanned (see the file comment), plus the lazy accounting
+// invariants.
+func assertLazyEquivalent(t *testing.T, par int, base, got recoveryOutcome) {
+	t.Helper()
+	for name, want := range base.counters {
+		if got.counters[name] != want {
+			t.Errorf("lazy par %d: counter %s = %d, eager recovered %d",
+				par, name, got.counters[name], want)
+		}
+	}
+	for name, want := range base.relayCalls {
+		if got.relayCalls[name] != want {
+			t.Errorf("lazy par %d: relay %s calls = %d, eager recovered %d",
+				par, name, got.relayCalls[name], want)
+		}
+	}
+	// The no-op touches are external calls (no last-call entries), so
+	// the tables must still match entry for entry.
+	if len(got.lastCalls) != len(base.lastCalls) {
+		t.Errorf("lazy par %d: last-call table has %d entries, eager has %d",
+			par, len(got.lastCalls), len(base.lastCalls))
+	} else {
+		for i := range base.lastCalls {
+			if got.lastCalls[i] != base.lastCalls[i] {
+				t.Errorf("lazy par %d: last-call entry %d = %+v, eager %+v",
+					par, i, got.lastCalls[i], base.lastCalls[i])
+			}
+		}
+	}
+	if got.suppressed != base.suppressed {
+		t.Errorf("lazy par %d: suppressed %d sends, eager suppressed %d",
+			par, got.suppressed, base.suppressed)
+	}
+	if got.stats.CallsReplayed != base.stats.CallsReplayed {
+		t.Errorf("lazy par %d: replayed %d calls, eager replayed %d",
+			par, got.stats.CallsReplayed, base.stats.CallsReplayed)
+	}
+	if got.stats.ContextsRestored != base.stats.ContextsRestored {
+		t.Errorf("lazy par %d: restored %d contexts, eager restored %d",
+			par, got.stats.ContextsRestored, base.stats.ContextsRestored)
+	}
+	if got.stats.Mode != RecoveryLazy {
+		t.Errorf("lazy par %d: stats.Mode = %v", par, got.stats.Mode)
+	}
+	// Every restored context was replayed exactly once, by one side or
+	// the other; which side won each race varies run to run.
+	if sum := got.stats.ContextsOnDemand + got.stats.ContextsBackground; sum != got.stats.ContextsRestored {
+		t.Errorf("lazy par %d: on-demand %d + background %d != restored %d",
+			par, got.stats.ContextsOnDemand, got.stats.ContextsBackground, got.stats.ContextsRestored)
+	}
+	if got.stats.ContextsRestored > 0 && got.stats.CtxReplayMaxNanos <= 0 {
+		t.Errorf("lazy par %d: CtxReplayMaxNanos = %d, want > 0",
+			par, got.stats.CtxReplayMaxNanos)
+	}
+	if got.stats.CtxReplayTotalNanos < got.stats.CtxReplayMaxNanos {
+		t.Errorf("lazy par %d: CtxReplayTotalNanos %d < max %d",
+			par, got.stats.CtxReplayTotalNanos, got.stats.CtxReplayMaxNanos)
+	}
+}
+
+// lazyParallelism are the worker-slot levels the equivalence matrix
+// runs: the serial default and a contended pool.
+var lazyParallelism = []int{0, 4}
+
+// TestLazyRecoveryEquivalence is the mode × shards × parallelism
+// matrix: the standard counters+relays workload crashed on 1- and
+// 4-shard logs, recovered eagerly (serial baseline) and lazily at each
+// worker level, with two contexts touched mid-drain.
+func TestLazyRecoveryEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir, counters, relays := shardWorkload(t, shards)
+			base := recoverCopy(t, dir, counters, relays, 0)
+			if base.suppressed == 0 {
+				t.Error("workload produced no suppressed sends")
+			}
+			touch := []string{"C5", "C4"} // late restart LSNs: the drain reaches them last
+			for _, par := range lazyParallelism {
+				assertLazyEquivalent(t, par, base,
+					recoverLazyCopy(t, dir, counters, relays, touch, par))
+			}
+		})
+	}
+}
+
+// TestLazyRecoveryEquivalenceCrashPoints repeats the check for logs
+// truncated by mid-call crash injection, including the case where a
+// tail replay runs off the end of the log and resumes live execution
+// during a lazy on-demand replay.
+func TestLazyRecoveryEquivalenceCrashPoints(t *testing.T) {
+	points := []InjectionPoint{
+		PointServerAfterLogIncoming,
+		PointServerAfterExecute,
+		PointServerBeforeSendReply,
+	}
+	for _, point := range points {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			u, err := NewUniverse(UniverseConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := u.AddMachine("evo1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			cfg.Injector = NewInjector().CrashAt(point, 12)
+			p, err := m.StartProcess("srv", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var counters []string
+			refs := make(map[string]*Ref)
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("C%d", i)
+				h, err := p.Create(name, &Counter{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counters = append(counters, name)
+				refs[name] = u.ExternalRef(h.URI()).WithoutRetry()
+			}
+			crashed := false
+			for round := 1; round <= 5 && !crashed; round++ {
+				for i, name := range counters {
+					if _, err := refs[name].Call("Add", i+round); err != nil {
+						crashed = true
+						break
+					}
+				}
+			}
+			if !crashed {
+				t.Fatalf("injector at %s never fired", point)
+			}
+			u.Shutdown()
+
+			base := recoverCopy(t, dir, counters, nil, 0)
+			touch := []string{"C3"}
+			for _, par := range lazyParallelism {
+				assertLazyEquivalent(t, par, base,
+					recoverLazyCopy(t, dir, counters, nil, touch, par))
+			}
+		})
+	}
+}
+
+// TestLazyMixedEraRecovery recovers the two-era legacy-upgrade log
+// lazily: per-context replay must cross the era barrier in order even
+// when each context replays independently on its own schedule.
+func TestLazyMixedEraRecovery(t *testing.T) {
+	dir, counters, relays, wantC0 := mixedEraWorkload(t)
+	base := recoverCopy(t, dir, counters, relays, 0)
+	if got := base.counters["C0"]; got != wantC0 {
+		t.Fatalf("eager baseline C0 = %d, want %d", got, wantC0)
+	}
+	touch := []string{"C0", "C3"}
+	for _, par := range lazyParallelism {
+		assertLazyEquivalent(t, par, base,
+			recoverLazyCopy(t, dir, counters, relays, touch, par))
+	}
+}
+
+// TestLazyFirstTouchAndStats drives a wide backlog, restarts lazily,
+// and touches the context the background drain reaches last — the
+// first-touch call must be admitted with correct replayed state while
+// colder contexts are still draining, and the published stats and
+// recovery.lazy.* metrics must account every context.
+func TestLazyFirstTouchAndStats(t *testing.T) {
+	const n, rounds = 16, 12
+	dir := t.TempDir()
+	u, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.StartProcess("srv", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	refs := make(map[string]*Ref)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("C%d", i)
+		h, err := p.Create(name, &Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		refs[name] = u.ExternalRef(h.URI())
+	}
+	for round := 1; round <= rounds; round++ {
+		for i, name := range names {
+			callInt(t, refs[name], "Add", i+round)
+		}
+	}
+	p.Crash()
+	u.Shutdown()
+
+	u2, err := NewUniverse(UniverseConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Shutdown()
+	m2, err := u2.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	cfg.Recovery = Recovery{Mode: RecoveryLazy, Parallelism: 1}
+	p2, err := m2.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First touch: the hottest-first drain starts from the lowest
+	// restart LSN, so the last-created context goes on demand here.
+	last := names[n-1]
+	h, ok := p2.Lookup(last)
+	if !ok {
+		t.Fatalf("%s missing after Pass 1", last)
+	}
+	want := rounds*(n-1) + rounds*(rounds+1)/2
+	if got := callInt(t, u2.ExternalRef(h.URI()), "Add", 0); got != want {
+		t.Fatalf("first touch of %s returned %d, want %d (stale or unreplayed state)", last, got, want)
+	}
+	if err := p2.DrainRecovery(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	stats, ok := p2.LastRecovery()
+	if !ok {
+		t.Fatal("LastRecovery reported no run")
+	}
+	if stats.Mode != RecoveryLazy {
+		t.Errorf("stats.Mode = %v, want lazy", stats.Mode)
+	}
+	if stats.TimeToFirstCallNanos <= 0 {
+		t.Errorf("TimeToFirstCallNanos = %d, want > 0", stats.TimeToFirstCallNanos)
+	}
+	if sum := stats.ContextsOnDemand + stats.ContextsBackground; sum != n {
+		t.Errorf("on-demand %d + background %d = %d, want %d",
+			stats.ContextsOnDemand, stats.ContextsBackground, sum, n)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.RecoveryLazyOnDemand) + snap.Counter(obs.RecoveryLazyBackground); got != int64(n) {
+		t.Errorf("recovery.lazy replay counters sum to %d, want %d", got, n)
+	}
+	if got := snap.HistogramFor(obs.RecoveryLazyCtxReplayMicros).Count; got != int64(n) {
+		t.Errorf("ctx_replay_micros count = %d, want %d", got, n)
+	}
+	if got := snap.HistogramFor(obs.RecoveryLazyTTFCMicros).Count; got != 1 {
+		t.Errorf("ttfc_micros count = %d, want 1", got)
+	}
+}
+
+// TestLazyRecoverContextAPI exercises RecoverContext as the API form of
+// on-demand replay during a live lazy drain: it must replay (or await)
+// the named context and leave its state correct, and remain usable in
+// its classic role after the drain completes.
+func TestLazyRecoverContextAPI(t *testing.T) {
+	dir, counters, _ := shardWorkload(t, 1)
+	dst := t.TempDir()
+	copyDir(t, dir, dst)
+	u, err := NewUniverse(UniverseConfig{Dir: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Shutdown()
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Recovery = Recovery{Mode: RecoveryLazy}
+	p, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RecoverContext("C5"); err != nil {
+		t.Fatalf("RecoverContext during drain: %v", err)
+	}
+	h, _ := p.Lookup("C5")
+	// C5 got 8 rounds of Add(5+round): 8*5 + 36.
+	if got := h.Object().(*Counter).N; got != 8*5+36 {
+		t.Errorf("C5 = %d after RecoverContext, want %d", got, 8*5+36)
+	}
+	if err := p.DrainRecovery(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// After the drain the classic path (restore fresh + replay) must
+	// still work for a live context repair.
+	if err := p.RecoverContext("C2"); err != nil {
+		t.Fatalf("RecoverContext after drain: %v", err)
+	}
+	h2, _ := p.Lookup("C2")
+	if got := h2.Object().(*Counter).N; got != 8*2+36 {
+		t.Errorf("C2 = %d after post-drain RecoverContext, want %d", got, 8*2+36)
+	}
+	_ = counters
+}
+
+// TestLazyCrashMidDrain crashes the process again while the lazy drain
+// is still running: DrainRecovery must not hang, and a subsequent
+// eager restart must still recover the full pre-crash state (lazy
+// replay advances no restart LSNs, so an interrupted drain loses
+// nothing).
+func TestLazyCrashMidDrain(t *testing.T) {
+	dir, counters, relays := shardWorkload(t, 4)
+	base := recoverCopy(t, dir, counters, relays, 0)
+
+	dst := t.TempDir()
+	copyDir(t, dir, dst)
+	u, err := NewUniverse(UniverseConfig{Dir: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := u.AddMachine("evo1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Recovery = Recovery{Mode: RecoveryLazy, Parallelism: 2}
+	p, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Crash() // mid-drain, with high probability
+	if err := p.DrainRecovery(); err != nil {
+		t.Fatalf("drain after crash: %v", err)
+	}
+
+	// Third restart, eager: the interrupted drain must not have
+	// corrupted or lost anything.
+	cfg2 := testConfig()
+	p2, err := m.StartProcess("srv", cfg2)
+	if err != nil {
+		t.Fatalf("restart after mid-drain crash: %v", err)
+	}
+	if err := p2.DrainRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range base.counters {
+		h, ok := p2.Lookup(name)
+		if !ok {
+			t.Fatalf("counter %s lost after mid-drain crash", name)
+		}
+		if got := h.Object().(*Counter).N; got != want {
+			t.Errorf("counter %s = %d after mid-drain crash, want %d", name, got, want)
+		}
+	}
+	u.Shutdown()
+}

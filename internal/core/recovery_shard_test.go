@@ -93,13 +93,15 @@ func TestShardedRecoveryEquivalence(t *testing.T) {
 	}
 }
 
-// TestMixedEraRecovery crashes a process whose log spans two eras: a
-// legacy single-stream era (including some gob-framed records) written
-// before sharding existed, and a 4-shard era appended after an upgrade
-// restart. Recovery must replay both eras in order at every
-// parallelism level with identical outcomes.
-func TestMixedEraRecovery(t *testing.T) {
-	dir := t.TempDir()
+// mixedEraWorkload builds a crashed log spanning two eras — a legacy
+// single-stream era (including some gob-framed records) written before
+// sharding existed, then a 4-shard era appended after an upgrade
+// restart — and returns the universe dir, the component names, and the
+// expected recovered value of C0 (spanning both eras). Shared by the
+// sharded and lazy equivalence suites.
+func mixedEraWorkload(t *testing.T) (dir string, counters, relays []string, wantC0 int) {
+	t.Helper()
+	dir = t.TempDir()
 	u, err := NewUniverse(UniverseConfig{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +114,6 @@ func TestMixedEraRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var counters, relays []string
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("C%d", i)
 		h, err := p.Create(name, &Counter{})
@@ -185,6 +186,17 @@ func TestMixedEraRecovery(t *testing.T) {
 	p2.Crash()
 	u2.Shutdown()
 
+	// C0's expected value spans both eras: its two legacy-era Adds, six
+	// sharded-era Adds, and six relayed Forwards.
+	wantC0 = (1 + 10) + (100 + 200 + 300 + 400 + 500 + 600) + 6*7
+	return dir, counters, relays, wantC0
+}
+
+// TestMixedEraRecovery recovers the two-era log at every parallelism
+// level: recovery must replay both eras in order with identical
+// outcomes.
+func TestMixedEraRecovery(t *testing.T) {
+	dir, counters, relays, wantC0 := mixedEraWorkload(t)
 	base := recoverCopy(t, dir, counters, relays, 0)
 	if base.suppressed == 0 {
 		t.Error("sharded era produced no suppressed sends")
@@ -192,9 +204,6 @@ func TestMixedEraRecovery(t *testing.T) {
 	if base.stats.CallsReplayed == 0 {
 		t.Error("mixed-era workload produced no replayed calls")
 	}
-	// Spot-check that one counter's value spans both eras: its two
-	// legacy-era Adds, six sharded-era Adds, and six relayed Forwards.
-	wantC0 := (1 + 10) + (100 + 200 + 300 + 400 + 500 + 600) + 6*7
 	if got := base.counters["C0"]; got != wantC0 {
 		t.Errorf("C0 recovered as %d, want %d", got, wantC0)
 	}

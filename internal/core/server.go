@@ -138,7 +138,21 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	}
 
 	// A context being recovered holds arrivals until replay completes.
-	<-cx.ready
+	// Under lazy admission an arrival does better than wait: it claims
+	// the context and replays its backlog right here (first toucher
+	// pays; concurrent arrivals wait on the same latch). Steady state
+	// — no engine attached, first call already noted — costs two
+	// atomic loads.
+	if lr := p.lazy.Load(); lr != nil {
+		lr.demand(cx, call)
+		<-cx.ready
+		if err := lr.replayFailure(cx.parent.id); err != nil {
+			return fault(call.ID, "context %s unavailable: lazy replay failed: %v", cx.uri, err)
+		}
+	} else {
+		<-cx.ready
+	}
+	p.noteFirstCall()
 
 	// Single-threaded context: one incoming call at a time
 	// (Section 2.2). Everything — duplicate detection, logging,

@@ -239,7 +239,15 @@ func (m *Machine) StartProcess(name string, cfg Config) (*Process, error) {
 		return nil, err
 	}
 	if existing {
-		if err := p.recover(); err != nil {
+		// Explicit two-phase restart: restore rebuilds the context
+		// tables and restart LSNs from Pass 1, admit schedules the
+		// replay — before accepting traffic (eager) or around it
+		// (lazy on-demand + background drain).
+		plan, err := p.restore()
+		if err == nil {
+			err = p.admit(plan)
+		}
+		if err != nil {
 			p.shutdown()
 			return nil, fmt.Errorf("core: recover %s/%s: %w", m.name, name, err)
 		}

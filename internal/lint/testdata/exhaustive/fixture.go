@@ -92,6 +92,34 @@ func badOutcome(o syncOutcome) string {
 	return ""
 }
 
+// recMode mirrors core.RecoveryMode: a two-value policy enum whose
+// zero value is the default. Switches over it must name both modes or
+// carry a default that renders strays.
+type recMode int
+
+const (
+	recEager recMode = iota
+	recLazy
+)
+
+func admit(m recMode) string {
+	switch m {
+	case recEager:
+		return "eager"
+	case recLazy:
+		return "lazy"
+	}
+	return ""
+}
+
+func badMode(m recMode) bool {
+	switch m { // want `switch over .*\.recMode is missing cases recLazy and has no default`
+	case recEager:
+		return false
+	}
+	return true
+}
+
 // plain built-in types are not enums; nothing to flag.
 func notEnum(n int) int {
 	switch n {

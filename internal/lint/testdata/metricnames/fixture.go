@@ -12,15 +12,18 @@ func (r *Registry) Histogram(name string) *int { return nil }
 const localAlias = "fix.undeclared"
 
 func use(r *Registry) {
-	r.Counter(MetricGood)           // ok: the declared constant
-	r.Histogram(MetricViaConst)     // ok
-	r.Counter(MetricShardAppends)   // ok: dotted shard family
-	r.Histogram(MetricShardSpread)  // ok
-	r.Counter("fix.good")           // want `use the constant MetricGood from .* instead of the literal "fix\.good"`
-	r.Counter("fix.rogue")          // want `metric name "fix\.rogue" is not declared in`
-	r.Counter(localAlias)           // want `constant metricnames\.localAlias \("fix\.undeclared"\) is used as a metric name but not declared in`
-	r.Histogram("fix.shard.spread") // want `use the constant MetricShardSpread from .* instead of the literal "fix\.shard\.spread"`
-	r.Counter("fix.shard.reshards") // want `metric name "fix\.shard\.reshards" is not declared in`
+	r.Counter(MetricGood)               // ok: the declared constant
+	r.Histogram(MetricViaConst)         // ok
+	r.Counter(MetricShardAppends)       // ok: dotted shard family
+	r.Histogram(MetricShardSpread)      // ok
+	r.Counter("fix.good")               // want `use the constant MetricGood from .* instead of the literal "fix\.good"`
+	r.Counter("fix.rogue")              // want `metric name "fix\.rogue" is not declared in`
+	r.Counter(localAlias)               // want `constant metricnames\.localAlias \("fix\.undeclared"\) is used as a metric name but not declared in`
+	r.Histogram("fix.shard.spread")     // want `use the constant MetricShardSpread from .* instead of the literal "fix\.shard\.spread"`
+	r.Counter("fix.shard.reshards")     // want `metric name "fix\.shard\.reshards" is not declared in`
+	r.Counter(MetricLazyOnDemand)       // ok: dotted lazy family
+	r.Histogram(MetricLazyTTFC)         // ok
+	r.Histogram("fix.lazy.ttfc_micros") // want `use the constant MetricLazyTTFC from .* instead of the literal "fix\.lazy\.ttfc_micros"`
 }
 
 // dynamic names cannot be checked statically; nothing to flag.

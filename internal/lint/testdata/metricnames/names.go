@@ -11,4 +11,9 @@ const (
 	// any other name.
 	MetricShardAppends = "fix.shard.appends"
 	MetricShardSpread  = "fix.shard.spread"
+
+	// Three-level families with underscored leaves (the recovery.lazy.*
+	// shape) reconcile the same way.
+	MetricLazyOnDemand = "fix.lazy.on_demand_replays"
+	MetricLazyTTFC     = "fix.lazy.ttfc_micros"
 )

@@ -140,6 +140,25 @@ const (
 	// full — backpressure on the single reader.
 	RecoveryPass2Stalls = "recovery.pass2.queue_stalls"
 
+	// --- lazy admission (Config.Recovery.Mode = RecoveryLazy). The
+	// process opens after Pass 1; these account how the deferred Pass-2
+	// work actually got done and what admission latency looked like.
+	// Durations are universe-clock microseconds (model time under a
+	// virtual bench clock), unlike the wall-time recovery.*_micros. ---
+
+	// RecoveryLazyOnDemand counts contexts whose backlog replayed
+	// because a call touched them first.
+	RecoveryLazyOnDemand = "recovery.lazy.on_demand_replays"
+	// RecoveryLazyBackground counts contexts drained by the background
+	// replayer before any call arrived.
+	RecoveryLazyBackground = "recovery.lazy.background_replays"
+	// RecoveryLazyCtxReplayMicros is the per-context backlog replay
+	// latency — what a first-touch call waits on top of its own work.
+	RecoveryLazyCtxReplayMicros = "recovery.lazy.ctx_replay_micros"
+	// RecoveryLazyTTFCMicros is time-to-first-call: recovery start to
+	// the first call admitted past a ready gate — perceived downtime.
+	RecoveryLazyTTFCMicros = "recovery.lazy.ttfc_micros"
+
 	// --- rpc / transport ---
 
 	RPCCalls   = "rpc.calls"
@@ -205,6 +224,7 @@ const (
 	TraceRecoveryScanMicros    = "trace.stage.recovery_scan_micros"
 	TraceReplayQueueWaitMicros = "trace.stage.replay_queue_wait_micros"
 	TraceReplayMicros          = "trace.stage.replay_micros"
+	TraceDemandReplayMicros    = "trace.stage.demand_replay_micros"
 )
 
 // TraceStageMicros lists the per-stage trace histograms in pipeline
@@ -221,6 +241,7 @@ var TraceStageMicros = []string{
 	TraceRecoveryScanMicros,
 	TraceReplayQueueWaitMicros,
 	TraceReplayMicros,
+	TraceDemandReplayMicros,
 }
 
 // WALMetrics pre-resolves the device-boundary metrics for the log
@@ -314,6 +335,7 @@ type TraceMetrics struct {
 	RecoveryScanMicros    *Histogram
 	ReplayQueueWaitMicros *Histogram
 	ReplayMicros          *Histogram
+	DemandReplayMicros    *Histogram
 }
 
 // TraceView resolves the trace.* bundle from r.
@@ -333,6 +355,7 @@ func TraceView(r *Registry) *TraceMetrics {
 		RecoveryScanMicros:    r.Histogram(TraceRecoveryScanMicros),
 		ReplayQueueWaitMicros: r.Histogram(TraceReplayQueueWaitMicros),
 		ReplayMicros:          r.Histogram(TraceReplayMicros),
+		DemandReplayMicros:    r.Histogram(TraceDemandReplayMicros),
 	}
 }
 
@@ -381,6 +404,11 @@ type RuntimeMetrics struct {
 	RecoveryPass2QueueDepth *Histogram
 	RecoveryPass2Demuxed    *Counter
 	RecoveryPass2Stalls     *Counter
+
+	RecoveryLazyOnDemand        *Counter
+	RecoveryLazyBackground      *Counter
+	RecoveryLazyCtxReplayMicros *Histogram
+	RecoveryLazyTTFCMicros      *Histogram
 
 	RPCCalls        *Counter
 	RPCRetries      *Counter
@@ -434,6 +462,11 @@ func RuntimeView(r *Registry) *RuntimeMetrics {
 		RecoveryPass2QueueDepth: r.Histogram(RecoveryPass2QueueDepth),
 		RecoveryPass2Demuxed:    r.Counter(RecoveryPass2Demuxed),
 		RecoveryPass2Stalls:     r.Counter(RecoveryPass2Stalls),
+
+		RecoveryLazyOnDemand:        r.Counter(RecoveryLazyOnDemand),
+		RecoveryLazyBackground:      r.Counter(RecoveryLazyBackground),
+		RecoveryLazyCtxReplayMicros: r.Histogram(RecoveryLazyCtxReplayMicros),
+		RecoveryLazyTTFCMicros:      r.Histogram(RecoveryLazyTTFCMicros),
 
 		RPCCalls:        r.Counter(RPCCalls),
 		RPCRetries:      r.Counter(RPCRetries),

@@ -78,6 +78,12 @@ const (
 	// record and its LSN is the replayed record's LSN — the stitch
 	// point between pre-crash and post-crash halves of a timeline.
 	StageReplay
+	// StageDemandReplay is one lazy-admission backlog replay: a whole
+	// context's deferred Pass-2 work, run on first touch (parented
+	// under the triggering call's trace — the wait that call actually
+	// experienced) or by the background drain (parented under the
+	// recovery run's trace). Its LSN is the context's restart LSN.
+	StageDemandReplay
 
 	// stageCount is the sentinel; keep it last.
 	stageCount
@@ -95,6 +101,7 @@ var stageNames = [stageCount]string{
 	StageRecoveryScan:    "recovery_scan",
 	StageReplayQueueWait: "replay_queue_wait",
 	StageReplay:          "replay",
+	StageDemandReplay:    "demand_replay",
 }
 
 // String returns the stage's canonical snake_case name.
@@ -233,6 +240,7 @@ func NewRecorder(o Options) *Recorder {
 		StageRecoveryScan:    tm.RecoveryScanMicros,
 		StageReplayQueueWait: tm.ReplayQueueWaitMicros,
 		StageReplay:          tm.ReplayMicros,
+		StageDemandReplay:    tm.DemandReplayMicros,
 	}
 	return r
 }

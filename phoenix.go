@@ -86,19 +86,35 @@ type (
 	// counters (Process.ShardLogStats); a single-stream log reports
 	// one entry.
 	ShardLogStat = core.ShardLogStat
-	// Recovery is the nested Config.Recovery section: Parallelism > 0
-	// partitions recovery's Pass 2 by context — one log reader
-	// demultiplexes message records into per-context replay queues
-	// drained by a bounded worker pool — while Pass 1 and the tail
-	// calls stay sequential. QueueDepth bounds each context's queue
-	// (0 = 64). The zero value keeps the strictly serial two-pass
-	// replay, bit for bit.
+	// RecoveryConfig is the nested Config.Recovery section — the
+	// restart surface. Mode schedules Pass-2 replay: RecoveryEager
+	// (the zero value) replays every context's backlog before the
+	// process serves a single call; RecoveryLazy admits traffic as
+	// soon as Pass 1 has rebuilt the context tables, replaying each
+	// context's backlog when a call first touches it (only that call
+	// waits; concurrent arrivals share one replay) while a background
+	// drain works through the cold contexts hottest-first.
+	// Parallelism > 0 bounds concurrent replay work (eager worker
+	// slots; lazy per-context replay slots) and QueueDepth bounds the
+	// eager demux queues (0 = 64). The zero value keeps the strictly
+	// serial eager two-pass replay, bit for bit.
+	RecoveryConfig = core.Recovery
+	// Recovery is the original name of RecoveryConfig, kept as an
+	// equal alias so existing callers compile unchanged.
 	Recovery = core.Recovery
+	// RecoveryMode selects when Pass-2 replay runs relative to the
+	// process admitting traffic (RecoveryConfig.Mode).
+	RecoveryMode = core.RecoveryMode
 	// RecoveryStats summarizes a crash-recovery run: per-pass durations
 	// (measured on the universe clock), contexts restored, records
 	// scanned, calls replayed, sends suppressed, and worker slots used.
+	// Lazy runs also report TimeToFirstCallNanos (recovery start to
+	// the first call admitted — perceived downtime), on-demand vs
+	// background replay counts, and per-context replay latency.
 	// Retrieve it with Process.LastRecovery or from the
-	// EventRecoveryDone event's Recovery field.
+	// EventRecoveryDone event's Recovery field; after a lazy restart,
+	// Process.DrainRecovery blocks until the background drain is done
+	// and Process.RecoverContext replays one context on demand.
 	RecoveryStats = core.RecoveryStats
 	// Handle is the creator's handle on a hosted component.
 	Handle = core.Handle
@@ -131,6 +147,15 @@ type (
 	Event = core.Event
 	// EventKind classifies lifecycle events.
 	EventKind = core.EventKind
+)
+
+// Recovery modes (RecoveryConfig.Mode): eager replays everything
+// before admission — the zero value and the classic restart — while
+// lazy opens the process after Pass 1 and replays per context on first
+// touch or in background hotness order.
+const (
+	RecoveryEager = core.RecoveryEager
+	RecoveryLazy  = core.RecoveryLazy
 )
 
 // Lifecycle event kinds (Config.OnEvent).
