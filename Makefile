@@ -1,6 +1,6 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet lint lint-fix-fixtures build test race stress recovery-stress shard-stress lazy-stress bench bench-smoke
+.PHONY: ci vet lint lockgraph lint-fix-fixtures build test race stress recovery-stress shard-stress lazy-stress bench bench-smoke
 
 ci: vet lint build test race stress recovery-stress shard-stress lazy-stress
 
@@ -8,16 +8,25 @@ vet:
 	go vet ./...
 
 # The repository's own discipline analyzers (internal/lint): forced
-# append sites, wall-clock reads, device I/O under the wal mutex,
-# exhaustive enum switches, metric-name hygiene. staticcheck and
-# govulncheck run when installed (CI installs them; offline dev
-# machines may not have them).
+# append sites, wall-clock reads, device I/O under held mutexes,
+# exhaustive enum switches, metric-name hygiene, the lock-order graph,
+# pooled-buffer lifetimes, goroutine/latch shutdown paths and dropped
+# device-I/O errors. -deadallow also fails the run when an allowlist
+# entry matches no current diagnostic. The `go list -export` front end
+# is cached on a hash of go.mod/go.sum and the tree's sources, so a
+# warm run skips the go tool. staticcheck and govulncheck run when
+# installed (CI installs them; offline dev machines may not have them).
 lint:
-	go run ./cmd/phoenix-lint ./...
+	go run ./cmd/phoenix-lint -deadallow ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "lint: govulncheck not installed, skipping"; fi
+
+# Emit the lock-acquisition graph lockorder observed as Graphviz DOT
+# (the DESIGN.md §14 figure).
+lockgraph:
+	go run ./cmd/phoenix-lint -lockgraph ./...
 
 # Print every diagnostic the analyzers produce for the testdata
 # fixtures — use this to refresh `// want` comments after changing an

@@ -1,6 +1,7 @@
 // Command phoenix-lint runs the repository's discipline analyzers
-// (internal/lint): forcesite, wallclock, locksync, exhaustive and
-// metricnames. It has two modes:
+// (internal/lint): forcesite, wallclock, locksync, exhaustive,
+// metricnames, lockorder, poollife, shutdownpath and droppederr. It
+// has two modes:
 //
 // Standalone (the usual one; what `make lint` and CI run):
 //
@@ -21,6 +22,11 @@
 //
 // Deliberate exceptions live in internal/lint/phoenix-lint.allow
 // (embedded at build time); -allow substitutes a different file.
+// -deadallow additionally fails when an allowlist entry matches no
+// current diagnostic. -lockgraph prints the lock-acquisition graph
+// lockorder observed as Graphviz DOT (the DESIGN.md §14 figure).
+// -json, standalone, emits the diagnostics (and any dead allowlist
+// entries) as a JSON object for CI step summaries.
 package main
 
 import (
@@ -42,8 +48,10 @@ func main() {
 func run() int {
 	versionFlag := flag.String("V", "", "print version and exit (go vet tool protocol)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
-	jsonFlag := flag.Bool("json", false, "in vet-unit mode, emit diagnostics as unitchecker JSON on stdout")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON on stdout (unitchecker shape in vet-unit mode, a diagnostic array standalone)")
 	allowPath := flag.String("allow", "", "allowlist file to use instead of the embedded phoenix-lint.allow")
+	lockgraphFlag := flag.Bool("lockgraph", false, "emit the observed lock-acquisition graph as Graphviz DOT and exit")
+	deadallowFlag := flag.Bool("deadallow", false, "also fail on allowlist entries that match no current diagnostic")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: phoenix-lint [-allow file] [package pattern ...]\n\nDefaults to ./... . Flags:\n")
@@ -84,19 +92,80 @@ func run() int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return vetUnit(args[0], allow, *jsonFlag)
 	}
-	diags, err := lint.Check(".", allow, args...)
+	if *lockgraphFlag {
+		graph, err := lint.LockGraphFor(".", allow, args...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 2
+		}
+		fmt.Print(graph.DOT())
+		return 0
+	}
+	pkgs, err := lint.Load(".", args...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	runner := &lint.Runner{Analyzers: lint.Analyzers(allow)}
+	diags, err := runner.Run(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+		return 2
+	}
+	var dead []string
+	if *deadallowFlag {
+		if dead, err = lint.UnusedAllowlist(pkgs, allow); err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 2
+		}
+	}
+	if *jsonFlag {
+		if err := writeStandaloneJSON(os.Stdout, diags, dead); err != nil {
+			fmt.Fprintln(os.Stderr, "phoenix-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		for _, e := range dead {
+			fmt.Printf("phoenix-lint.allow: dead entry %q matches no current diagnostic; delete it\n", e)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "phoenix-lint: %d violation(s); fix them or add a '# why'-commented entry to internal/lint/phoenix-lint.allow\n", len(diags))
 		return 1
 	}
+	if len(dead) > 0 {
+		fmt.Fprintf(os.Stderr, "phoenix-lint: %d dead allowlist entr(y/ies); the exceptions they document no longer exist — delete them\n", len(dead))
+		return 1
+	}
 	return 0
+}
+
+// writeStandaloneJSON emits the standalone-mode report: an object with
+// the diagnostics array (position, analyzer, enclosing function,
+// message) and any dead allowlist entries. CI publishes this as the
+// lint job's step summary.
+func writeStandaloneJSON(w io.Writer, diags []lint.Diagnostic, dead []string) error {
+	type jsonDiag struct {
+		Pos      string `json:"pos"`
+		Analyzer string `json:"analyzer"`
+		Fn       string `json:"fn,omitempty"`
+		Message  string `json:"message"`
+	}
+	out := struct {
+		Diagnostics []jsonDiag `json:"diagnostics"`
+		DeadAllow   []string   `json:"dead_allowlist_entries,omitempty"`
+	}{Diagnostics: []jsonDiag{}, DeadAllow: dead}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			Pos: d.Pos.String(), Analyzer: d.Analyzer, Fn: d.Fn, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // selfID returns a content hash of the running binary.

@@ -83,17 +83,17 @@ func (p *Process) Checkpoint() error {
 	if p.crashed.Load() {
 		return fmt.Errorf("core: process %s has crashed", p.name)
 	}
-	return p.checkpointLocked()
+	return p.runCheckpoint()
 }
 
-// checkpointLocked logs begin-checkpoint, the context table, the last
+// runCheckpoint logs begin-checkpoint, the context table, the last
 // call table, and end-checkpoint. The paper brackets the dumps with
 // begin/end records precisely so the tables can be saved incrementally
 // under sub-range locks while execution continues; we snapshot each
 // table under its own short-lived lock, achieving the same
 // concurrency, and readers "examine all the log records between the
 // begin checkpoint and end checkpoint record".
-func (p *Process) checkpointLocked() error {
+func (p *Process) runCheckpoint() error {
 	begin, err := p.appendRec(recBeginCkpt, 0, &struct{}{})
 	if err != nil {
 		return err

@@ -246,6 +246,7 @@ func (p *Process) DrainRecovery() error {
 		return nil
 	}
 	<-lr.done
+	lr.drainers.Wait()
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	return lr.firstErr
@@ -371,7 +372,7 @@ func (p *Process) Create(name string, obj any, opts ...CreateOption) (*Handle, e
 	}
 	parent.ctx = cx
 	cx.ready = make(chan struct{})
-	close(cx.ready)
+	cx.markReady()
 	bindRefs(cx, obj)
 	for _, ss := range o.subs {
 		if _, err := cx.addSubordinate(ss.name, ss.obj); err != nil {
@@ -788,13 +789,16 @@ func (p *Process) Crash() {
 	}
 	p.u.cfg.Net.Unlisten(p.addr)
 	p.listening.Store(false)
-	p.log.Discard()
+	detail := ""
+	if err := p.log.Discard(); err != nil {
+		detail = fmt.Sprintf("log discard: %v", err)
+	}
 	p.dumpFlightRecorder()
 	p.markStarted() // release any waiters; they will see the crash
 	if lr := p.lazy.Load(); lr != nil {
 		lr.stop()
 	}
-	p.emit(EventCrash, "", "")
+	p.emit(EventCrash, "", "%s", detail)
 	p.m.svc.NotifyCrash(p.name)
 }
 
@@ -831,27 +835,31 @@ func (p *Process) dumpFlightRecorder() {
 }
 
 // shutdown releases resources without simulating a crash (clean exit
-// for error paths; unforced data is written out).
-func (p *Process) shutdown() {
+// for error paths; unforced data is written out). The log-close error
+// is returned so the error path that triggered the shutdown can fold
+// it into what it reports.
+func (p *Process) shutdown() error {
 	p.u.cfg.Net.Unlisten(p.addr)
 	p.listening.Store(false)
 	p.markStarted()
-	p.log.Close()
+	return p.log.Close()
 }
 
 // Close cleanly stops the process (tests and examples; a clean close is
 // indistinguishable from a crash to the recovery protocol, except that
-// no buffered log data is lost).
-func (p *Process) Close() {
-	if p.crashed.CompareAndSwap(false, true) {
-		p.u.cfg.Net.Unlisten(p.addr)
-		p.listening.Store(false)
-		p.markStarted()
-		if lr := p.lazy.Load(); lr != nil {
-			lr.stop()
-		}
-		p.log.Close()
+// no buffered log data is lost). The error is the log's close error:
+// a failed final flush means buffered records did not reach the device.
+func (p *Process) Close() error {
+	if !p.crashed.CompareAndSwap(false, true) {
+		return nil
 	}
+	p.u.cfg.Net.Unlisten(p.addr)
+	p.listening.Store(false)
+	p.markStarted()
+	if lr := p.lazy.Load(); lr != nil {
+		lr.stop()
+	}
+	return p.log.Close()
 }
 
 // Crashed reports whether the process has failed or been closed.

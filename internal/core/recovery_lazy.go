@@ -51,13 +51,13 @@ type lazyRecovery struct {
 	admitStart time.Time // universe clock, admission point
 	admitWall  time.Time // wall clock, for the recovery.* histograms
 
-	mu        sync.Mutex
-	stopped   bool
-	pending   map[ids.CompID]*lazyPending // unclaimed contexts
-	remaining int                         // claimed-but-unfinished + pending
-	onDemand  int
-	background int
-	scanned    int64
+	mu          sync.Mutex
+	stopped     bool
+	pending     map[ids.CompID]*lazyPending // unclaimed contexts
+	remaining   int                         // claimed-but-unfinished + pending
+	onDemand    int
+	background  int
+	scanned     int64
 	replayMax   time.Duration
 	replayTotal time.Duration
 	failed      map[ids.CompID]error
@@ -74,6 +74,11 @@ type lazyRecovery struct {
 	stopCh    chan struct{} // closed by stop (crash/close mid-drain)
 	done      chan struct{} // closed when the drain finishes or stops
 	closeOnce sync.Once
+
+	// drainers counts the background drainStream goroutines.
+	// DrainRecovery joins them after done closes; stop() must NOT — a
+	// crash raised from inside a drainer would then self-deadlock.
+	drainers sync.WaitGroup
 }
 
 // admitLazy arms the lazy engine and returns immediately: the process
@@ -116,6 +121,7 @@ func (p *Process) admitLazy(plan *restorePlan) error {
 		return nil
 	}
 	for s := range streams {
+		lr.drainers.Add(1)
 		go lr.drainStream(s)
 	}
 	return nil
@@ -206,6 +212,7 @@ func (lr *lazyRecovery) claimHottest(stream uint32) *lazyPending {
 // re-reading the hotness counters before each pick so traffic arriving
 // mid-drain reorders what is left.
 func (lr *lazyRecovery) drainStream(stream uint32) {
+	defer lr.drainers.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(crashSignal); ok {

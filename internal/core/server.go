@@ -270,7 +270,7 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	}
 	total := p.incomingCalls.Add(1)
 	if p.cfg.CheckpointEvery > 0 && total%int64(p.cfg.CheckpointEvery) == 0 {
-		if err := p.checkpointLocked(); err != nil {
+		if err := p.runCheckpoint(); err != nil {
 			return fault(call.ID, "checkpoint: %v", err)
 		}
 	}

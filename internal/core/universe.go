@@ -235,7 +235,9 @@ func (m *Machine) StartProcess(name string, cfg Config) (*Process, error) {
 	// components of this same process. Contexts being replayed hold
 	// incoming calls at their ready gate until their recovery is done.
 	if err := p.listen(); err != nil {
-		p.shutdown()
+		if cerr := p.shutdown(); cerr != nil {
+			err = fmt.Errorf("%w (shutdown: %v)", err, cerr)
+		}
 		return nil, err
 	}
 	if existing {
@@ -248,7 +250,9 @@ func (m *Machine) StartProcess(name string, cfg Config) (*Process, error) {
 			err = p.admit(plan)
 		}
 		if err != nil {
-			p.shutdown()
+			if cerr := p.shutdown(); cerr != nil {
+				err = fmt.Errorf("%w (shutdown: %v)", err, cerr)
+			}
 			return nil, fmt.Errorf("core: recover %s/%s: %w", m.name, name, err)
 		}
 	}

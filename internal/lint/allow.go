@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -89,6 +90,26 @@ func (a *Allowlist) Allowed(analyzer, fn string) bool {
 	}
 	_, ok := a.entries[analyzer][fn]
 	return ok
+}
+
+// Entries returns every (analyzer, function) pair in the list, sorted.
+func (a *Allowlist) Entries() [][2]string {
+	if a == nil {
+		return nil
+	}
+	var out [][2]string
+	for analyzer, fns := range a.entries {
+		for fn := range fns {
+			out = append(out, [2]string{analyzer, fn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // Functions returns the functions listed for analyzer, unordered.

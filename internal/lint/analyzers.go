@@ -18,9 +18,54 @@ func Analyzers(allow *Allowlist) []*Analyzer {
 				"repro/internal/bench",
 			},
 		}, allow),
-		NewLocksync(LocksyncConfig{}, allow),
+		NewLocksync(repoLocksyncConfig(), allow),
 		NewExhaustive(ExhaustiveConfig{}, allow),
 		NewMetricNames(MetricNamesConfig{}, allow),
+		NewLockOrder(LockOrderConfig{}, allow),
+		NewPoolLife(PoolLifeConfig{}, allow),
+		NewShutdownPath(ShutdownPathConfig{}, allow),
+		NewDroppedErr(DroppedErrConfig{}, allow),
+	}
+}
+
+// repoLocksyncConfig is the repository's locksync scope: since PRs 7-8
+// the blocking-I/O-free critical sections are the per-shard log
+// mutexes (every Set shard is a Log), the group-commit flusher queue,
+// the engine registry and the lazy-recovery bookkeeping — named
+// explicitly so the per-context mutex, which serializes whole handler
+// executions (forces included) by design, stays exempt. The blocking
+// list adds the wal append/force entry points and the core
+// chokepoints that reach them.
+func repoLocksyncConfig() LocksyncConfig {
+	return LocksyncConfig{
+		Packages: []string{
+			"repro/internal/wal",
+			"repro/internal/core",
+		},
+		Mutexes: []string{
+			"repro/internal/wal.Log.mu",
+			"repro/internal/wal.groupCommitter.mu",
+			"repro/internal/core.Process.mu",
+			"repro/internal/core.lazyRecovery.mu",
+		},
+		Blocking: append([]string{
+			"(*repro/internal/wal.Log).Append",
+			"(*repro/internal/wal.Log).AppendInto",
+			"(*repro/internal/wal.Log).ForceTo",
+			"(*repro/internal/wal.Log).SyncTo",
+			"(*repro/internal/wal.Log).SyncAll",
+			"(*repro/internal/wal.Set).AppendInto",
+			"(*repro/internal/wal.Set).ForceTo",
+			"(*repro/internal/wal.Set).SyncTo",
+			"(*repro/internal/wal.Set).SyncAll",
+			"(repro/internal/wal.Writer).AppendInto",
+			"(repro/internal/wal.Writer).ForceTo",
+			"(repro/internal/wal.Writer).SyncTo",
+			"(repro/internal/wal.Writer).SyncAll",
+			"(*repro/internal/core.Process).appendRec",
+			"(*repro/internal/core.Process).forceTo",
+			"(*repro/internal/core.Process).force",
+		}, defaultLocksyncBlocking...),
 	}
 }
 
@@ -51,4 +96,24 @@ func Check(dir string, allow *Allowlist, patterns ...string) ([]Diagnostic, erro
 	}
 	r := &Runner{Analyzers: Analyzers(allow)}
 	return r.Run(pkgs)
+}
+
+// LockGraphFor loads the packages matching patterns under dir, runs
+// the lockorder analyzer alone and returns the acquisition graph it
+// observed — the `phoenix-lint -lockgraph` back end. Diagnostics are
+// discarded; the graph records every deduplicated edge regardless.
+func LockGraphFor(dir string, allow *Allowlist, patterns ...string) (*LockGraph, error) {
+	if allow == nil {
+		allow = DefaultAllowlist()
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	analyzer, graph := NewLockOrderGraph(LockOrderConfig{}, allow)
+	r := &Runner{Analyzers: []*Analyzer{analyzer}}
+	if _, err := r.Run(pkgs); err != nil {
+		return nil, err
+	}
+	return graph, nil
 }

@@ -1,0 +1,38 @@
+package lint
+
+import "fmt"
+
+// UnusedAllowlist reports the allowlist entries that suppress (or, for
+// forcesite, bless) nothing: the whole suite is re-run over pkgs with
+// an *empty* allowlist, and an entry is live only when some raw
+// diagnostic matches its (analyzer, function) pair. A dead entry means
+// the exception it documents no longer exists in the code — it should
+// be deleted so the allowlist stays an honest inventory of the
+// deliberate violations. `make ci` fails on dead entries.
+func UnusedAllowlist(pkgs []*Package, allow *Allowlist) ([]string, error) {
+	if allow == nil {
+		allow = DefaultAllowlist()
+	}
+	empty, err := ParseAllowlist("empty", nil)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{Analyzers: Analyzers(empty)}
+	raw, err := r.Run(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	live := map[[2]string]bool{}
+	for _, d := range raw {
+		if d.Fn != "" {
+			live[[2]string{d.Analyzer, d.Fn}] = true
+		}
+	}
+	var dead []string
+	for _, e := range allow.Entries() {
+		if !live[e] {
+			dead = append(dead, fmt.Sprintf("%s %s", e[0], e[1]))
+		}
+	}
+	return dead, nil
+}

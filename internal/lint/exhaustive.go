@@ -47,7 +47,7 @@ func NewExhaustive(cfg ExhaustiveConfig, allow *Allowlist) *Analyzer {
 					if !ok || sw.Tag == nil {
 						return true
 					}
-					checkSwitch(pass, sw, prefix)
+					checkSwitch(pass, sw, fname, prefix)
 					return true
 				})
 			})
@@ -56,7 +56,7 @@ func NewExhaustive(cfg ExhaustiveConfig, allow *Allowlist) *Analyzer {
 	}
 }
 
-func checkSwitch(pass *Pass, sw *ast.SwitchStmt, prefix string) {
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, fname, prefix string) {
 	tv, ok := pass.Info.Types[sw.Tag]
 	if !ok {
 		return
@@ -103,7 +103,7 @@ func checkSwitch(pass *Pass, sw *ast.SwitchStmt, prefix string) {
 	if len(missing) == 0 {
 		return
 	}
-	pass.Reportf(sw.Pos(),
+	pass.ReportfFn(sw.Pos(), fname,
 		"switch over %s is missing cases %s and has no default; add the cases or an explicit default",
 		types.TypeString(named, nil), strings.Join(missing, ", "))
 }

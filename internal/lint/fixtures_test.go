@@ -47,6 +47,58 @@ func TestExhaustiveFixture(t *testing.T) {
 		[]*lint.Analyzer{lint.NewExhaustive(lint.ExhaustiveConfig{}, nil)})
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	p := fixturePrefix + "lockorder"
+	linttest.Run(t, "testdata/lockorder", p,
+		[]*lint.Analyzer{lint.NewLockOrder(lint.LockOrderConfig{
+			Packages: []string{p},
+			Order: []string{
+				p + ".slots",
+				p + ".A.mu",
+				p + ".B.mu",
+				p + ".C.mu",
+				p + ".E.mu",
+				p + ".F.mu",
+				p + ".G.ready",
+			},
+			Semaphores: []string{p + ".slots"},
+			Latches:    []string{p + ".G.ready"},
+		}, nil)})
+}
+
+func TestPoolLifeFixture(t *testing.T) {
+	p := fixturePrefix + "poollife"
+	linttest.Run(t, "testdata/poollife", p,
+		[]*lint.Analyzer{lint.NewPoolLife(lint.PoolLifeConfig{
+			Packages: []string{p},
+			Get:      []string{p + ".getBuf"},
+			Free:     []string{p + ".freeBuf"},
+			Payloads: []string{p + ".Record.Payload"},
+		}, nil)})
+}
+
+func TestShutdownPathFixture(t *testing.T) {
+	p := fixturePrefix + "shutdownpath"
+	linttest.Run(t, "testdata/shutdownpath", p,
+		[]*lint.Analyzer{lint.NewShutdownPath(lint.ShutdownPathConfig{
+			Packages: []string{p},
+			Latches:  []string{p + ".Gate.ready"},
+		}, nil)})
+}
+
+func TestDroppedErrFixture(t *testing.T) {
+	p := fixturePrefix + "droppederr"
+	linttest.Run(t, "testdata/droppederr", p,
+		[]*lint.Analyzer{lint.NewDroppedErr(lint.DroppedErrConfig{
+			Packages: []string{p},
+			Guarded: []string{
+				p + ".syncDevice",
+				p + ".readDevice",
+				"(*" + p + ".Dev).Close",
+			},
+		}, nil)})
+}
+
 func TestMetricNamesFixture(t *testing.T) {
 	linttest.Run(t, "testdata/metricnames", fixturePrefix+"metricnames",
 		[]*lint.Analyzer{lint.NewMetricNames(lint.MetricNamesConfig{

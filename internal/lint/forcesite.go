@@ -96,13 +96,13 @@ func NewForcesite(cfg ForcesiteConfig, allow *Allowlist) *Analyzer {
 					}
 					callee := CalleeString(pass.Info, call)
 					if callee == deprecatedForce && !inTest {
-						pass.Reportf(call.Pos(),
+						pass.ReportfFn(call.Pos(), fname,
 							"%s is deprecated outside tests: name the watermark with ForceTo/SyncTo or sync every shard with SyncAll",
 							callee)
 						return true
 					}
 					if !isBlessed && guarded[callee] {
-						pass.Reportf(call.Pos(),
+						pass.ReportfFn(call.Pos(), fname,
 							"%s called from %s, which is not a blessed force/append site; %s",
 							callee, fname, route)
 					}

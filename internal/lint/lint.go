@@ -34,10 +34,15 @@ import (
 
 // Diagnostic is one reported violation. Position is resolved against
 // the run's shared FileSet so diagnostics from different packages (and
-// from cross-package Finish hooks) sort and print uniformly.
+// from cross-package Finish hooks) sort and print uniformly. Fn, when
+// known, is the enclosing function in FuncString spelling — the unit
+// allowlist entries are written against, which is what lets the
+// dead-allowlist check (UnusedAllowlist) match entries to raw
+// diagnostics.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Fn       string
 	Message  string
 }
 
@@ -58,9 +63,16 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFn(pos, "", format, args...)
+}
+
+// ReportfFn records a diagnostic at pos attributed to the enclosing
+// function fn (FuncString spelling, "" when unknown).
+func (p *Pass) ReportfFn(pos token.Pos, fn string, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.analyzer.Name,
+		Fn:       fn,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -75,8 +87,9 @@ type Analyzer struct {
 	Doc  string
 	Run  func(*Pass) error
 	// Finish, when non-nil, reports diagnostics that could only be
-	// decided after all packages were seen.
-	Finish func(report func(token.Position, string))
+	// decided after all packages were seen. The Analyzer field of the
+	// reported Diagnostic is filled in by the Runner.
+	Finish func(report func(Diagnostic))
 }
 
 // Runner applies a set of analyzers to a set of loaded packages.
@@ -109,8 +122,9 @@ func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
 			continue
 		}
 		name := a.Name
-		a.Finish(func(pos token.Position, msg string) {
-			diags = append(diags, Diagnostic{Pos: pos, Analyzer: name, Message: msg})
+		a.Finish(func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
 		})
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -59,6 +59,7 @@ func NewMetricNames(cfg MetricNamesConfig, allow *Allowlist) *Analyzer {
 		constName string // "" for a plain literal
 		value     string
 		pos       token.Position
+		fn        string
 	}
 	var (
 		sawObs   bool
@@ -101,13 +102,14 @@ func NewMetricNames(cfg MetricNamesConfig, allow *Allowlist) *Analyzer {
 						constName: obsConstName(pass, arg, obsPath),
 						value:     value,
 						pos:       pass.Fset.Position(arg.Pos()),
+						fn:        fname,
 					})
 					return true
 				})
 			})
 			return nil
 		},
-		Finish: func(report func(token.Position, string)) {
+		Finish: func(report func(Diagnostic)) {
 			if !sawObs {
 				return
 			}
@@ -115,11 +117,11 @@ func NewMetricNames(cfg MetricNamesConfig, allow *Allowlist) *Analyzer {
 				d, ok := declared[u.value]
 				switch {
 				case u.constName == "" && ok:
-					report(u.pos, fmt.Sprintf("use the constant %s from %s/%s instead of the literal %q", d.name, obsPath, namesFile, u.value))
+					report(Diagnostic{Pos: u.pos, Fn: u.fn, Message: fmt.Sprintf("use the constant %s from %s/%s instead of the literal %q", d.name, obsPath, namesFile, u.value)})
 				case u.constName == "" && !ok:
-					report(u.pos, fmt.Sprintf("metric name %q is not declared in %s/%s", u.value, obsPath, namesFile))
+					report(Diagnostic{Pos: u.pos, Fn: u.fn, Message: fmt.Sprintf("metric name %q is not declared in %s/%s", u.value, obsPath, namesFile)})
 				case u.constName != "" && !ok:
-					report(u.pos, fmt.Sprintf("constant %s (%q) is used as a metric name but not declared in %s/%s", u.constName, u.value, obsPath, namesFile))
+					report(Diagnostic{Pos: u.pos, Fn: u.fn, Message: fmt.Sprintf("constant %s (%q) is used as a metric name but not declared in %s/%s", u.constName, u.value, obsPath, namesFile)})
 				}
 			}
 			var orphans []string
@@ -131,7 +133,7 @@ func NewMetricNames(cfg MetricNamesConfig, allow *Allowlist) *Analyzer {
 			sort.Strings(orphans)
 			for _, value := range orphans {
 				d := declared[value]
-				report(d.pos, fmt.Sprintf("metric name constant %s (%q) is declared in %s but never resolved by any Counter/Histogram call — orphan declaration", d.name, value, namesFile))
+				report(Diagnostic{Pos: d.pos, Message: fmt.Sprintf("metric name constant %s (%q) is declared in %s but never resolved by any Counter/Histogram call — orphan declaration", d.name, value, namesFile)})
 			}
 		},
 	}

@@ -24,6 +24,24 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestNoDeadAllowlistEntries re-runs the suite with an empty allowlist
+// and verifies every embedded entry still matches a raw diagnostic: an
+// entry whose exception no longer exists documents nothing and must be
+// deleted (`make ci` enforces the same via phoenix-lint -deadallow).
+func TestNoDeadAllowlistEntries(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	dead, err := lint.UnusedAllowlist(pkgs, nil)
+	if err != nil {
+		t.Fatalf("unused-allowlist pass: %v", err)
+	}
+	for _, e := range dead {
+		t.Errorf("dead allowlist entry %q matches no current diagnostic; delete it from phoenix-lint.allow", e)
+	}
+}
+
 // TestDefaultAllowlist pins the embedded allowlist to the analyzers it
 // configures: every entry must name a known analyzer, so a typo'd
 // entry cannot silently allow nothing.

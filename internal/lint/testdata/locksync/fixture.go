@@ -17,19 +17,19 @@ type store struct {
 func (s *store) badHeld() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while the mutex is held in .*badHeld`
+	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while .*store\.mu is held in .*badHeld`
 }
 
 func (s *store) badSleep() {
 	s.mu.Lock()
-	time.Sleep(time.Millisecond) // want `time\.Sleep can block on device I/O while the mutex is held`
+	time.Sleep(time.Millisecond) // want `time\.Sleep can block on device I/O while .*store\.mu is held`
 	s.mu.Unlock()
 }
 
 // flushLocked follows the *Locked convention: entered with the mutex
 // held, so the sync is flagged even without a visible Lock.
 func (s *store) flushLocked() error {
-	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while the mutex is held in .*flushLocked`
+	return s.f.Sync() // want `\Q(*os.File).Sync\E can block on device I/O while .*flushLocked`
 }
 
 // syncLocked releases the mutex around the device sync — the pattern

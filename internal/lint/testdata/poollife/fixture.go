@@ -1,0 +1,121 @@
+// Fixture for the poollife analyzer: getBuf/freeBuf stand in for
+// msg.GetBuf/msg.FreeBuf, Record.Payload for the WAL scan payload
+// window.
+package poollife
+
+func getBuf(n int) []byte { return make([]byte, n) }
+func freeBuf([]byte)      {}
+
+type Record struct{ Payload []byte }
+
+type holder struct{ b []byte }
+
+var global []byte
+
+var sink = make(chan []byte, 1)
+
+// good frees exactly once on the straight-line path.
+func good() {
+	b := getBuf(8)
+	b[0] = 1
+	freeBuf(b)
+}
+
+// goodDefer frees exactly once via defer.
+func goodDefer() {
+	b := getBuf(8)
+	defer freeBuf(b)
+	b[0] = 1
+}
+
+// appendAndFree keeps ownership through an append chain (the
+// EncodeCall pattern) and still frees once.
+func appendAndFree(n int) {
+	b := getBuf(n)
+	b = append(b, 1, 2, 3)
+	freeBuf(b)
+}
+
+// errPath frees on the early exit and on the fall-through — one free
+// per path, so nothing is flagged.
+func errPath(fail bool) int {
+	b := getBuf(8)
+	if fail {
+		freeBuf(b)
+		return 1
+	}
+	freeBuf(b)
+	return 0
+}
+
+func neverFreed() {
+	b := getBuf(8) // want `pooled buffer b acquired in .*neverFreed is never freed`
+	b[0] = 1
+}
+
+func doubleFree() {
+	b := getBuf(8)
+	freeBuf(b)
+	freeBuf(b) // want `pooled buffer b freed twice` `pooled buffer b used after FreeBuf`
+}
+
+func deferPlusLexical() {
+	b := getBuf(8)
+	defer freeBuf(b)
+	freeBuf(b) // want `freed here and again by a deferred FreeBuf`
+}
+
+func useAfterFree() {
+	b := getBuf(8)
+	freeBuf(b)
+	b[0] = 1 // want `pooled buffer b used after FreeBuf`
+}
+
+func escapeGlobal() {
+	b := getBuf(8)
+	global = b // want `pooled buffer stored to package-level variable global`
+	freeBuf(b)
+}
+
+func escapeField(h *holder) {
+	b := getBuf(8)
+	h.b = b // want `pooled buffer stored to field b`
+	freeBuf(b)
+}
+
+func escapeChan() {
+	b := getBuf(8)
+	sink <- b // want `pooled buffer sent on a channel`
+	freeBuf(b)
+}
+
+// leakSubSlice hands out a window into pooled memory: flagged both as
+// the escape and as a buffer that is never returned to the pool.
+func leakSubSlice() []byte {
+	b := getBuf(8) // want `pooled buffer b acquired in .*leakSubSlice is never freed`
+	return b[:4]   // want `pooled buffer returned as a sub-slice`
+}
+
+// transferOwnership returns the whole pooled buffer — the producer
+// pattern that must be documented with an allowlist entry.
+func transferOwnership() []byte {
+	b := getBuf(8)
+	return b // want `pooled buffer returned in .*transferOwnership`
+}
+
+// keepPayload stores a scan-window payload that is only valid until
+// the callback returns.
+func keepPayload(r *Record) {
+	global = r.Payload // want `WAL record payload .* stored to package-level variable global`
+}
+
+// leakPayloadSlice aliases the payload window and returns part of it.
+func leakPayloadSlice(r *Record) []byte {
+	p := r.Payload
+	return p[2:] // want `WAL record payload .* returned as a sub-slice`
+}
+
+// decodePayload reads the payload in place inside the window: fine.
+func decodePayload(r *Record) byte {
+	return r.Payload[0]
+}

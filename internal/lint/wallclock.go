@@ -60,7 +60,7 @@ func NewWallclock(cfg WallclockConfig, allow *Allowlist) *Analyzer {
 						return true
 					}
 					if callee := CalleeString(pass.Info, call); banned[callee] {
-						pass.Reportf(call.Pos(),
+						pass.ReportfFn(call.Pos(), fname,
 							"%s reads the wall clock in %s; use the universe clock (disk.Clock), or allowlist %s in phoenix-lint.allow if this wall read is deliberate instrumentation",
 							callee, fname, fname)
 					}
