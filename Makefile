@@ -1,8 +1,8 @@
 # Development entry points. `make ci` is what the GitHub workflow runs.
 
-.PHONY: ci vet lint lockgraph lint-fix-fixtures build test race stress recovery-stress shard-stress lazy-stress bench bench-smoke
+.PHONY: ci vet lint lockgraph lint-fix-fixtures build test race stress recovery-stress shard-stress lazy-stress adaptive-stress bench bench-smoke
 
-ci: vet lint build test race stress recovery-stress shard-stress lazy-stress
+ci: vet lint build test race stress recovery-stress shard-stress lazy-stress adaptive-stress
 
 vet:
 	go vet ./...
@@ -73,6 +73,15 @@ lazy-stress:
 	go test -race -count=2 -run 'Lazy' ./internal/core/
 	go run ./cmd/phoenix-bench -experiment lazyrecovery -scale 0.05 -metrics=false
 
+# Adaptive-discipline stress under the race detector: the controller's
+# epoch machine and promotion/demotion paths racing live calls, the
+# hysteresis and read-only-guard suites, and the crash-at-promotion-
+# boundary recovery equivalence matrix (eager/lazy × shards 1/4), plus
+# the convergence bench cell on a compressed clock.
+adaptive-stress:
+	go test -race -count=2 -run 'Adaptive' ./internal/core/
+	go run ./cmd/phoenix-bench -experiment adaptive -scale 0.05 -calls 40 -metrics=false
+
 bench:
 	go run ./cmd/phoenix-bench -scale 0.05 -calls 30
 
@@ -86,3 +95,4 @@ bench-smoke:
 	go test -run '^$$' -bench 'Encode|Decode|WALAppend|Cursor|Scan' -benchmem -benchtime 100x ./internal/msg/ ./internal/wal/
 	go test -run 'TestAllocs' -v ./internal/core/
 	go test -run 'TestTraceOverhead$$' -v ./internal/bench/
+	go test -run 'TestAdaptiveConvergenceGate$$' -v ./internal/bench/

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	phoenix "repro"
+	"repro/internal/ids"
+)
+
+// Adaptive-discipline convergence: start every component on the
+// baseline discipline (Algorithm 1, force every message) with the
+// runtime controller enabled, and measure forces per call phase by
+// phase as the controller promotes methods to Algorithm 2 and
+// per-method multi-call elision. The converged phase must land within
+// a whisker of the best hand-tuned static configuration — the
+// controller discovers at runtime what the static switches encode by
+// hand.
+func init() {
+	register(&Experiment{
+		ID:    "adaptive",
+		Title: "Adaptive disciplines: convergence from Algorithm 1 to the tuned static config",
+		Run:   runAdaptive,
+	})
+}
+
+// Storefront is the bookstore workload's frontend: one incoming Quote
+// fans out to every store once (the PriceGrabber pattern of
+// Section 3.5, here hosted in the same process as the stores).
+type Storefront struct {
+	Stores []string
+	ctx    *phoenix.Ctx
+}
+
+// AttachContext receives the context handle.
+func (s *Storefront) AttachContext(cx *phoenix.Ctx) { s.ctx = cx }
+
+// Quote queries every store.
+func (s *Storefront) Quote(arg int) (int, error) {
+	sum := 0
+	for _, st := range s.Stores {
+		res, err := s.ctx.NewRef(ids.URI(st)).Call("Add", arg)
+		if err != nil {
+			return 0, err
+		}
+		sum += res[0].(int)
+	}
+	return sum, nil
+}
+
+// Stage is one hop of the pipeline workload: persistent state plus one
+// downstream call per execution; an empty Next marks the sink.
+type Stage struct {
+	N    int
+	Next string
+	ctx  *phoenix.Ctx
+}
+
+// AttachContext receives the context handle.
+func (s *Stage) AttachContext(cx *phoenix.Ctx) { s.ctx = cx }
+
+// Run updates this stage and forwards down the pipeline.
+func (s *Stage) Run(d int) (int, error) {
+	s.N += d
+	if s.Next == "" {
+		return s.N, nil
+	}
+	res, err := s.ctx.NewRef(ids.URI(s.Next)).Call("Run", d)
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+// adaptiveWorkload builds one workload variant inside a fresh server
+// process and returns the external entry ref.
+type adaptiveWorkload struct {
+	name  string
+	entry string // entry component method
+	// build creates the component graph and returns the entry URI.
+	build func(ps *phoenix.Process) (ids.URI, error)
+	// multiCall marks the workload whose tuned static config also sets
+	// Config.MultiCall (the bookstore's distinct-server fan-out).
+	multiCall bool
+}
+
+func adaptiveWorkloads() []adaptiveWorkload {
+	return []adaptiveWorkload{
+		{
+			name:  "bookstore",
+			entry: "Quote",
+			build: func(ps *phoenix.Process) (ids.URI, error) {
+				var stores []string
+				for i := 0; i < 3; i++ {
+					h, err := ps.Create(fmt.Sprintf("Store%d", i), &BenchServer{})
+					if err != nil {
+						return "", err
+					}
+					stores = append(stores, string(h.URI()))
+				}
+				h, err := ps.Create("Front", &Storefront{Stores: stores})
+				if err != nil {
+					return "", err
+				}
+				return h.URI(), nil
+			},
+			multiCall: true,
+		},
+		{
+			name:  "pipeline",
+			entry: "Run",
+			build: func(ps *phoenix.Process) (ids.URI, error) {
+				ht, err := ps.Create("Sink", &Stage{})
+				if err != nil {
+					return "", err
+				}
+				h2, err := ps.Create("Mid", &Stage{Next: string(ht.URI())})
+				if err != nil {
+					return "", err
+				}
+				h1, err := ps.Create("Head", &Stage{Next: string(h2.URI())})
+				if err != nil {
+					return "", err
+				}
+				return h1.URI(), nil
+			},
+		},
+	}
+}
+
+// adaptiveRow is one (workload, config) measurement: forces and bytes
+// per call in the first and last of four equal phases.
+type adaptiveRow struct {
+	early, converged float64
+	bytesPerCall     float64
+	perCall          time.Duration
+	assignments      string
+}
+
+func runAdaptiveCell(o Options, w adaptiveWorkload, label string, cfg phoenix.Config) (adaptiveRow, error) {
+	var row adaptiveRow
+	ec := localEnv()
+	// The virtual clock ties epoch time to model time: simulated disk
+	// rotations and network RTTs advance it, wall time does not, so the
+	// controller's windows elapse identically at any -scale.
+	ec.virtualClock = true
+	e, err := newEnv(o, ec)
+	if err != nil {
+		return row, err
+	}
+	defer e.Close()
+	m, err := e.u.AddMachine("evo1")
+	if err != nil {
+		return row, err
+	}
+	ps, err := m.StartProcess("srv", cfg)
+	if err != nil {
+		return row, err
+	}
+	entry, err := w.build(ps)
+	if err != nil {
+		return row, err
+	}
+	ref := e.u.ExternalRef(entry)
+	if _, err := ref.Call(w.entry, 1); err != nil { // creation + learning noise
+		return row, err
+	}
+
+	phase := o.Calls / 4
+	if phase < 8 {
+		phase = 8
+	}
+	var phases [4]float64
+	var total time.Duration
+	var bytes int64
+	for p := 0; p < 4; p++ {
+		ps.ResetLogStats()
+		elapsed, err := e.elapsed(func() error {
+			for i := 0; i < phase; i++ {
+				if _, err := ref.Call(w.entry, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return row, err
+		}
+		st := ps.LogStats()
+		phases[p] = float64(st.Forces) / float64(phase)
+		bytes += st.BytesWritten
+		total += elapsed
+	}
+	row.early, row.converged = phases[0], phases[3]
+	row.bytesPerCall = float64(bytes) / float64(4*phase)
+	row.perCall = total / time.Duration(4*phase)
+	if assigns := ps.AdaptiveAssignments(); len(assigns) > 0 {
+		parts := make([]string, 0, len(assigns))
+		for _, a := range assigns {
+			s := fmt.Sprintf("%s=%s", a.Method, a.Discipline)
+			if a.MultiCall {
+				s += "+multicall"
+			}
+			parts = append(parts, s)
+		}
+		row.assignments = fmt.Sprintf("%s %s assignments: %s",
+			w.name, label, strings.Join(parts, " "))
+	}
+	return row, nil
+}
+
+func runAdaptive(o Options) (*Table, error) {
+	o = o.Defaults()
+	t := &Table{
+		ID:    "Adaptive",
+		Title: "Adaptive disciplines: forces/call from Algorithm-1 start vs tuned static",
+		Cols: []string{"Workload", "Config", "Forces/call (early)",
+			"Forces/call (converged)", "vs static", "Bytes/call", "Model time/call"},
+		Notes: []string{
+			"adaptive starts every method on Algorithm 1 and must converge within 1.1x of the best hand-tuned static discipline's forces/call",
+		},
+	}
+	for _, w := range adaptiveWorkloads() {
+		static := benchConfig(phoenix.LogOptimized, true)
+		static.MultiCall = w.multiCall
+		adaptive := benchConfig(phoenix.LogBaseline, false)
+		adaptive.Adaptive = phoenix.AdaptiveConfig{
+			Enabled:      true,
+			Window:       40 * time.Millisecond,
+			PromoteAfter: 2,
+			DemoteAfter:  2,
+		}
+		configs := []struct {
+			label string
+			cfg   phoenix.Config
+		}{
+			{"algo1", benchConfig(phoenix.LogBaseline, false)},
+			{"static", static},
+			{"adaptive", adaptive},
+		}
+		var staticConverged float64
+		for _, c := range configs {
+			row, err := runAdaptiveCell(o, w, c.label, c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("adaptive %s/%s: %w", w.name, c.label, err)
+			}
+			if c.label == "static" {
+				staticConverged = row.converged
+			}
+			ratio := "-"
+			if c.label != "static" && staticConverged > 0 {
+				ratio = fmt.Sprintf("%.2fx", row.converged/staticConverged)
+			}
+			t.Rows = append(t.Rows, []string{
+				w.name, c.label,
+				fmt.Sprintf("%.1f", row.early),
+				fmt.Sprintf("%.1f", row.converged),
+				ratio,
+				fmt.Sprintf("%.0f", row.bytesPerCall),
+				ms(row.perCall),
+			})
+			if row.assignments != "" {
+				t.Notes = append(t.Notes, row.assignments)
+			}
+		}
+	}
+	return t, nil
+}

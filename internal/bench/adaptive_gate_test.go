@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// adaptiveCell finds the (workload, config) row and parses a column.
+func adaptiveCell(t *testing.T, tab *Table, workload, config, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tab.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q in %v", col, tab.Cols)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == workload && row[1] == config {
+			v, err := strconv.ParseFloat(row[ci], 64)
+			if err != nil {
+				t.Fatalf("cell %s/%s/%s = %q not a number", workload, config, col, row[ci])
+			}
+			return v
+		}
+	}
+	t.Fatalf("no row %s/%s in %s", workload, config, tab.ID)
+	return 0
+}
+
+// TestAdaptiveConvergenceGate pins the adaptive experiment's contract:
+// on both workloads the controller, starting from Algorithm 1, must
+// converge to within 1.1x of the best hand-tuned static discipline's
+// forces per call — and must actually improve on its own first phase.
+func TestAdaptiveConvergenceGate(t *testing.T) {
+	tab, err := runAdaptive(quickOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"bookstore", "pipeline"} {
+		static := adaptiveCell(t, tab, w, "static", "Forces/call (converged)")
+		converged := adaptiveCell(t, tab, w, "adaptive", "Forces/call (converged)")
+		early := adaptiveCell(t, tab, w, "adaptive", "Forces/call (early)")
+		baseline := adaptiveCell(t, tab, w, "algo1", "Forces/call (converged)")
+		if converged > 1.1*static {
+			t.Errorf("%s: adaptive converged at %.2f forces/call, want <= 1.1x static (%.2f)",
+				w, converged, static)
+		}
+		if converged >= baseline {
+			t.Errorf("%s: adaptive converged at %.2f forces/call, no better than Algorithm 1 (%.2f)",
+				w, converged, baseline)
+		}
+		if converged > early {
+			t.Errorf("%s: adaptive got worse over time: early %.2f -> converged %.2f",
+				w, early, converged)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/ids"
@@ -72,9 +73,15 @@ func DumpLog(w io.Writer, dir string) error {
 
 	// Per-kind record counts accumulate in a private registry under the
 	// same rec.* names the runtime uses, so the summary reads exactly
-	// like a live metrics snapshot of this log's history.
+	// like a live metrics snapshot of this log's history. Discipline
+	// attribution replays the adaptive controller's change records as
+	// the scan passes them, so each message record is labeled with the
+	// discipline that was in force when it was written.
 	reg := obs.NewRegistry()
 	records, impliedForces := 0, 0
+	disc := make(map[methodKey]Discipline)
+	mc := make(map[methodKey]bool)
+	discCounts := make(map[string]int)
 	for _, sh := range shards {
 		wk := marks[sh.Stream]
 		err = sh.Log.Scan(ids.NilLSN, func(rec wal.Record) error {
@@ -88,7 +95,11 @@ func DumpLog(w io.Writer, dir string) error {
 				impliedForces++
 				status += "+forced"
 			}
-			fmt.Fprintf(w, "%-12v %-14s %-13s %5dB  ", rec.LSN, recName(rec.Type), status, len(rec.Payload))
+			algo := dumpDiscipline(rec, disc, mc)
+			if algo != "-" {
+				discCounts[algo]++
+			}
+			fmt.Fprintf(w, "%-12v %-17s %-13s %-9s %5dB  ", rec.LSN, recName(rec.Type), status, algo, len(rec.Payload))
 			if err := dumpPayload(w, rec); err != nil {
 				fmt.Fprintf(w, "<undecodable: %v>", err)
 			}
@@ -102,8 +113,92 @@ func DumpLog(w io.Writer, dir string) error {
 
 	fmt.Fprintf(w, "\nsummary: %d records, >=%d forces implied by record kinds\n",
 		records, impliedForces)
+	if len(discCounts) > 0 {
+		algos := make([]string, 0, len(discCounts))
+		for a := range discCounts {
+			algos = append(algos, a)
+		}
+		sort.Strings(algos)
+		fmt.Fprintf(w, "  per-discipline:")
+		for _, a := range algos {
+			fmt.Fprintf(w, " %s=%d", a, discCounts[a])
+		}
+		fmt.Fprintln(w)
+	}
+	// Final adaptive assignments: the state the change records leave
+	// behind — what a recovery of this log would restore.
+	var keys []methodKey
+	for k := range disc {
+		if disc[k] != DiscBaseline || mc[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].ctx != keys[j].ctx {
+				return keys[i].ctx < keys[j].ctx
+			}
+			return keys[i].method < keys[j].method
+		})
+		fmt.Fprintf(w, "  adaptive assignments:")
+		for _, k := range keys {
+			tag := disc[k].String()
+			if mc[k] {
+				tag += "+mc"
+			}
+			fmt.Fprintf(w, " ctx=%d.%s=%s", k.ctx, k.method, tag)
+		}
+		fmt.Fprintln(w)
+	}
 	reg.Snapshot().WriteText(w, "  ")
 	return nil
+}
+
+// dumpDiscipline labels a record with the logging discipline that
+// produced it, replaying adaptive discipline-change records into the
+// attribution maps as the scan passes them. Lifecycle records
+// (creation, state, checkpoint brackets) get "-"; message records get
+// the algorithm — exact where the record kind pins it (reply-sent is
+// Algorithm 3, outgoing sends only exist under Algorithm 1), a
+// "A1|A2"-style range where the log alone cannot distinguish the
+// static mode, and a "*"-suffixed form where an adaptive promotion was
+// in force.
+func dumpDiscipline(rec wal.Record, disc map[methodKey]Discipline, mc map[methodKey]bool) string {
+	switch rec.Type {
+	case recDisciplineChange:
+		var v disciplineChangeRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return "adapt"
+		}
+		k := methodKey{ctx: v.Ctx, method: v.Method}
+		disc[k] = v.To
+		mc[k] = v.MultiCall
+		return "adapt"
+	case recIncoming:
+		var v incomingRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return "?"
+		}
+		if disc[methodKey{ctx: v.Ctx, method: v.Call.Method}] == DiscAlgo2 {
+			return "A2*"
+		}
+		if v.Call.ID.IsZero() {
+			return "A1|A3"
+		}
+		return "A1|A2"
+	case recReplySent:
+		return "A3"
+	case recReplyContent:
+		return "A1"
+	case recOutgoing:
+		return "A1"
+	case recOutgoingReply:
+		return "A1|A2|A5"
+	case recCreation, recCtxState, recBeginCkpt, recCkptCtxTable, recCkptLastCall, recEndCkpt:
+		return "-"
+	default:
+		return "-"
+	}
 }
 
 // recMetricName maps a record type to the obs counter name the runtime
@@ -132,6 +227,8 @@ func recMetricName(t wal.RecordType) string {
 		return obs.RecCkptLastCall
 	case recEndCkpt:
 		return obs.RecEndCkpt
+	case recDisciplineChange:
+		return obs.RecDisciplineChange
 	default:
 		return fmt.Sprintf("rec.unknown_%d", t)
 	}
@@ -139,12 +236,14 @@ func recMetricName(t wal.RecordType) string {
 
 // forcedKind reports whether a record of this type is forced at append
 // time under every logging discipline: creation records (Create forces
-// before publishing the component) and Algorithm 3's reply-sent
-// markers ("log the reply-sent record and force"). Other kinds may or
-// may not have been forced depending on the discipline and on later
-// forces covering them — the log itself does not say.
+// before publishing the component), Algorithm 3's reply-sent markers
+// ("log the reply-sent record and force"), and adaptive
+// discipline-change records (durable before the change takes effect).
+// Other kinds may or may not have been forced depending on the
+// discipline and on later forces covering them — the log itself does
+// not say.
 func forcedKind(t wal.RecordType) bool {
-	return t == recCreation || t == recReplySent
+	return t == recCreation || t == recReplySent || t == recDisciplineChange
 }
 
 // dumpTrace appends a record's causal identity when it carries one —
@@ -246,6 +345,24 @@ func dumpPayload(w io.Writer, rec wal.Record) error {
 			return err
 		}
 		fmt.Fprintf(w, "end process checkpoint (begin=%v)", v.BeginLSN)
+	case recDisciplineChange:
+		var v disciplineChangeRec
+		if err := decodeRec(rec.Payload, &v); err != nil {
+			return err
+		}
+		kind := "promote"
+		if v.From == v.To {
+			kind = "reemit"
+		} else if v.To == DiscBaseline {
+			kind = "demote"
+		}
+		fmt.Fprintf(w, "ctx=%d %s %s: %s -> %s epoch=%d", v.Ctx, kind, v.Method, v.From, v.To, v.Epoch)
+		if v.MultiCall {
+			fmt.Fprint(w, " multicall")
+		}
+		if v.Barred {
+			fmt.Fprint(w, " ro-barred")
+		}
 	default:
 		fmt.Fprintf(w, "unknown record type %d", rec.Type)
 	}

@@ -80,6 +80,13 @@ type Process struct {
 	// atomic pointer load.
 	lazy atomic.Pointer[lazyRecovery]
 
+	// adaptive is the discipline controller (Config.Adaptive.Enabled),
+	// set once at construction and immutable thereafter. Nil means
+	// disabled: every hot-path integration point is behind one nil
+	// check, so the static configuration's behavior is bit-for-bit
+	// unchanged.
+	adaptive *adaptiveController
+
 	// Time-to-first-call accounting: restore() arms the stamp at
 	// recovery start (ttfcBase = universe-clock nanos), and the serve
 	// path's first call past a ready gate disarms it and records the
@@ -169,6 +176,9 @@ func newProcess(m *Machine, name string, procID ids.ProcID, cfg Config) (*Proces
 		lastCalls:    newLastCallTable(),
 		remoteTypes:  newRemoteTypeTable(),
 		recoveryDone: make(chan struct{}),
+	}
+	if cfg.Adaptive.Enabled {
+		p.adaptive = newAdaptiveController(p)
 	}
 	if cfg.Injector != nil {
 		cfg.Injector.bind(p)
@@ -761,6 +771,8 @@ func (p *Process) recCounter(t wal.RecordType) *obs.Counter {
 		return p.obs.RecCkptLastCall
 	case recEndCkpt:
 		return p.obs.RecEndCkpt
+	case recDisciplineChange:
+		return p.obs.RecDisciplineChange
 	default:
 		return nil
 	}

@@ -208,6 +208,20 @@ func (p *Process) restore() (*restorePlan, error) {
 					ReplyLSN: rec.LSN, Ctx: rc.Ctx,
 				})
 			}
+		case recDisciplineChange:
+			// Rebuild the adaptive controller's committed state in scan
+			// order (a method's records share its context's stream, so
+			// scan order is temporal order — newest wins). A log written
+			// with the controller on but restarted with it off replays
+			// fine without this: every record needed for replay exists
+			// under any discipline history.
+			if p.adaptive != nil {
+				var dc disciplineChangeRec
+				if err := decodeRec(rec.Payload, &dc); err != nil {
+					return err
+				}
+				p.adaptive.restoreChange(&dc)
+			}
 		default:
 			// Pass 1 only mines restart points and last-call state; the
 			// remaining record types (replies, outgoing sends, checkpoint
@@ -532,6 +546,11 @@ type tailReplay struct {
 	pending    *incomingRec
 	pendingLSN ids.LSN
 	replies    map[uint64]*msg.Reply
+	// replied marks a complete tail: the pending call's own reply
+	// record is on the log, so its replay is fully answered from
+	// buffered replies and never leaves the context. Tails without it
+	// are the calls the log ends inside — their replay resumes live.
+	replied bool
 }
 
 // replayTails runs the tail calls — each context's last buffered
@@ -547,7 +566,28 @@ type tailReplay struct {
 func (p *Process) replayTails(tails []tailReplay) error {
 	sort.Slice(tails, func(i, j int) bool { return tails[i].pendingLSN < tails[j].pendingLSN })
 	runGroup := func(group []tailReplay) error {
+		// Complete tails (their reply is on the log) replay first, in
+		// log order: every outgoing call they make is answered from the
+		// buffered replies, so they never leave their context.
+		// Incomplete tails — the log ends inside these calls — then
+		// resume innermost-first (reverse log order): in a nested
+		// same-process chain the callee's incoming is logged after its
+		// caller's, so reverse order re-executes and readies the callee
+		// before the caller's resumed live send re-arrives, which is
+		// then answered from the last-call table instead of parking
+		// forever on a ready latch this serial loop would never close.
+		ordered := make([]tailReplay, 0, len(group))
 		for _, t := range group {
+			if t.replied {
+				ordered = append(ordered, t)
+			}
+		}
+		for i := len(group) - 1; i >= 0; i-- {
+			if !group[i].replied {
+				ordered = append(ordered, group[i])
+			}
+		}
+		for _, t := range ordered {
 			if err := p.replayIncoming(t.cx, t.pending, t.pendingLSN, t.replies); err != nil {
 				return err
 			}
@@ -604,6 +644,7 @@ func (p *Process) replayFrom(starts map[uint32]ids.LSN, only map[ids.CompID]bool
 		pending    *incomingRec
 		pendingLSN ids.LSN
 		replies    map[uint64]*msg.Reply
+		replied    bool // pending's own reply record seen on the log
 	}
 	states := make(map[ids.CompID]*ctxReplay)
 	get := func(id ids.CompID) *ctxReplay {
@@ -653,6 +694,32 @@ func (p *Process) replayFrom(starts map[uint32]ids.LSN, only map[ids.CompID]bool
 			st.pending = &ir
 			st.pendingLSN = rec.LSN
 			st.replies = make(map[uint64]*msg.Reply)
+			st.replied = false
+		case recReplySent:
+			var rs replySentRec
+			if err := decodeRec(rec.Payload, &rs); err != nil {
+				return err
+			}
+			if skip(rs.Ctx, rec.LSN) {
+				return nil
+			}
+			if st := get(rs.Ctx); st.pending != nil && rs.CallID == st.pending.Call.ID {
+				st.replied = true
+			}
+		case recReplyContent:
+			var rc replyContentRec
+			if err := decodeRec(rec.Payload, &rc); err != nil {
+				return err
+			}
+			if skip(rc.Ctx, rec.LSN) {
+				return nil
+			}
+			// Section 4.2 also writes recReplyContent for old last-call
+			// replies saved ahead of a state record; only the pending
+			// call's own reply marks its tail complete.
+			if st := get(rc.Ctx); st.pending != nil && rc.CallID == st.pending.Call.ID {
+				st.replied = true
+			}
 		case recOutgoingReply:
 			var or outgoingReplyRec
 			if err := decodeRec(rec.Payload, &or); err != nil {
@@ -693,6 +760,7 @@ func (p *Process) replayFrom(starts map[uint32]ids.LSN, only map[ids.CompID]bool
 			tails = append(tails, tailReplay{
 				cx: ctxOf(id), pending: st.pending,
 				pendingLSN: st.pendingLSN, replies: st.replies,
+				replied: st.replied,
 			})
 		}
 	}

@@ -179,7 +179,11 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	// get the most conservative treatment: persistent.
 	serverType, roMethod, known := p.remoteTypes.lookup(call.Target, call.Method)
 	call.KnowsServer = known
-	roCall := p.cfg.SpecializedTypes && (serverType == msg.ReadOnly || roMethod)
+	// The adaptive controller honors learned read-only attachments even
+	// when the static specialized-types switch is off: an adaptive
+	// read-only promotion travels as MethodReadOnly and earns the
+	// Algorithm 5 client treatment here.
+	roCall := (p.cfg.SpecializedTypes || p.adaptive != nil) && (serverType == msg.ReadOnly || roMethod)
 	call.ReadOnly = roCall
 
 	// Replay: suppress the outgoing call if its reply is on the log
@@ -202,10 +206,31 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 	// state to recover (Algorithms 4 and 5 "at a functional/read-only
 	// component: do nothing").
 	stateless := cx.parent.ctype.Stateless()
+
+	// Adaptive client treatment of the *executing* method: when it is
+	// Algorithm-2 promoted, its outgoing calls take the optimized
+	// message-3/4 path; its per-method multi-call flag composes with
+	// the static switch. Observation rides the same map the multi-call
+	// elision uses, but marks presence with false so the static elision
+	// branch (which checks and stores true) decides exactly as it would
+	// have without the observer.
+	var aopt, amc bool
+	if p.adaptive != nil && !stateless && cx.parent.ctype != msg.External {
+		aopt, amc = p.adaptive.clientState(cx.parent.id, cx.curMethod)
+		if cx.multiCallSeen != nil {
+			cx.execOut++
+			if _, seen := cx.multiCallSeen[call.Target]; seen {
+				cx.execRepeats++
+			} else {
+				cx.multiCallSeen[call.Target] = false
+			}
+		}
+	}
+
 	switch {
 	case cx.parent.ctype == msg.External || stateless:
 		// Algorithms 4/5 at the stateless component: do nothing.
-	case p.cfg.LogMode == LogBaseline:
+	case p.cfg.LogMode == LogBaseline && !aopt:
 		lsn, err := p.appendRec(recOutgoing, cx.parent.id, &outgoingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return nil, err
@@ -215,7 +240,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		if err := p.forceTraced(p.obs.ForceAtSend, cx.lastLSN, call.Trace, &call.Method); err != nil {
 			return nil, err
 		}
-	default: // optimized
+	default: // optimized (statically, or by Algorithm-2 promotion)
 		switch {
 		case p.cfg.SpecializedTypes && serverType == msg.Functional:
 			// Algorithm 4: calling a functional server needs no force.
@@ -224,12 +249,18 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 			// Algorithm 5: "we do not force the log when calling a
 			// read-only component".
 			p.obs.ElideReadOnly.Inc()
-		case p.cfg.MultiCall && cx.multiCallSeen != nil && !cx.multiCallSeen[call.Target]:
+			if !p.cfg.SpecializedTypes {
+				p.obs.AdaptiveElideReadOnly.Inc()
+			}
+		case (p.cfg.MultiCall || amc) && cx.multiCallSeen != nil && !cx.multiCallSeen[call.Target]:
 			// Section 3.5: first call to this server during this
 			// method execution — its reply nondeterminism is captured
 			// in the server's last call table; skip the force.
 			cx.multiCallSeen[call.Target] = true
 			p.obs.ElideMultiCall.Inc()
+			if !p.cfg.MultiCall {
+				p.obs.AdaptiveElideMulti.Inc()
+			}
 		default:
 			// The send message itself is not written (replay recreates
 			// it) but all of this context's previous records must be
@@ -269,7 +300,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		p.remoteTypes.learn(call.Target, call.Method, reply.ServerType, reply.MethodReadOnly)
 		serverType = reply.ServerType
 		roMethod = reply.MethodReadOnly
-		roCall = p.cfg.SpecializedTypes && (serverType == msg.ReadOnly || roMethod)
+		roCall = (p.cfg.SpecializedTypes || p.adaptive != nil) && (serverType == msg.ReadOnly || roMethod)
 	}
 
 	// Client-side logging for message 4.
@@ -282,7 +313,7 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 		// execution would (below) so a second failure replays it too.
 		fallthrough
 	default:
-		if p.cfg.LogMode == LogBaseline {
+		if p.cfg.LogMode == LogBaseline && !aopt {
 			lsn, err := p.appendRec(recOutgoingReply, cx.parent.id, &outgoingReplyRec{Ctx: cx.parent.id, Seq: seq, Reply: *reply, Trace: call.Trace})
 			if err != nil {
 				return nil, err
@@ -304,6 +335,11 @@ func (cx *Context) outgoingCall(call *msg.Call) (*msg.Reply, error) {
 				return nil, err
 			}
 			cx.lastLSN = lsn
+			if aopt && p.cfg.LogMode == LogBaseline {
+				// Algorithm-2 promotion: the baseline's message-4 force
+				// is elided (the reply record rides the next commit).
+				p.obs.AdaptiveElideAlgo2.Inc()
+			}
 		}
 	}
 	p.inject(PointClientAfterReply)

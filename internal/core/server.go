@@ -122,14 +122,23 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	roTreatment := serverStateless ||
 		(p.cfg.SpecializedTypes && (roMethodAttr || call.CallerType == msg.ReadOnly))
 
+	// Adaptive treatment snapshot: one per execution, taken before any
+	// logging decision, so an execution never straddles a discipline
+	// flip. Statically stateless or read-only-treated calls already log
+	// nothing — there is nothing left to promote.
+	var ad adaptiveServe
+	if p.adaptive != nil && !serverStateless && !roTreatment {
+		ad = p.adaptive.serveState(cx.parent.id, call.Method)
+	}
+
 	// Account the interception by logging discipline (the split the
 	// paper's Tables 4-5 argue about).
 	switch {
 	case cx.parent.ctype == msg.Functional:
 		p.obs.InterceptFunctional.Inc() // Algorithm 4
-	case roTreatment:
+	case roTreatment || ad.readOnly:
 		p.obs.InterceptReadOnly.Inc() // Algorithm 5 treatment
-	case p.cfg.LogMode == LogBaseline:
+	case p.cfg.LogMode == LogBaseline && !ad.algo2:
 		p.obs.InterceptAlgo1.Inc()
 	case external:
 		p.obs.InterceptAlgo3.Inc()
@@ -179,29 +188,50 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		}
 	}
 
-	// Message 1 logging.
-	if !roTreatment {
+	// Read-only guard: hash the pre-execution state while the method is
+	// a candidate (observing mutation behavior) or promoted (the safety
+	// net). After duplicate elimination — a served-from-table duplicate
+	// never executes, so it needs no guard.
+	if ad.guard {
+		if h, err := cx.stateHash(); err != nil {
+			ad.hashErr = true
+		} else {
+			ad.preHash = h
+		}
+	}
+
+	// Message 1 logging. A read-only-promoted method logs nothing
+	// (Algorithm 5); the runtime guard below backstops the bet.
+	if !roTreatment && !ad.readOnly {
 		p.inject(PointServerBeforeLogIncoming)
 		lsn, err := p.appendRec(recIncoming, cx.parent.id, &incomingRec{Ctx: cx.parent.id, Call: *call, Trace: call.Trace})
 		if err != nil {
 			return fault(call.ID, "log incoming: %v", err)
 		}
 		cx.lastLSN = lsn
-		if external || p.cfg.LogMode == LogBaseline {
+		if external || (p.cfg.LogMode == LogBaseline && !ad.algo2) {
 			// Algorithm 1 forces every message; Algorithm 3 force-logs
 			// external calls promptly so the failure window is small.
 			if err := p.forceTraced(p.obs.ForceAtIncoming, cx.lastLSN, call.Trace, &call.Method); err != nil {
 				return fault(call.ID, "force incoming: %v", err)
 			}
+		} else if ad.algo2 && p.cfg.LogMode == LogBaseline {
+			// Promoted to Algorithm 2: message 1 stays unforced.
+			p.obs.AdaptiveElideAlgo2.Inc()
 		}
 		p.inject(PointServerAfterLogIncoming)
+	} else if ad.readOnly {
+		p.obs.AdaptiveElideReadOnly.Inc()
 	}
 	p.traceSpan(call, trace.StageServerIntercept, srvStart)
 
 	// Execute.
 	cx.beginExecution()
 	cx.curTrace = call.Trace
-	defer func() { cx.curTrace = trace.Ref{} }()
+	if p.adaptive != nil {
+		cx.curMethod = call.Method
+	}
+	defer func() { cx.curTrace = trace.Ref{}; cx.curMethod = "" }()
 	execStart := time.Now()
 	execTraceStart := p.tr.Now()
 	results, numResults, appErr, err := cx.parent.disp.InvokeEncoded(call.Method, call.Args, call.NumArgs)
@@ -215,10 +245,12 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	reply := &msg.Reply{ID: call.ID, Results: results, NumResults: numResults, AppErr: appErr, Trace: call.Trace}
 	p.inject(PointServerAfterExecute)
 
-	// Message 2 logging, before the reply is sent.
-	if !roTreatment {
+	// Message 2 logging, before the reply is sent. Nothing for a
+	// read-only-promoted method: no message-1 record exists, so there
+	// is nothing to commit.
+	if !roTreatment && !ad.readOnly {
 		switch {
-		case p.cfg.LogMode == LogBaseline:
+		case p.cfg.LogMode == LogBaseline && !ad.algo2:
 			// Algorithm 1: log the full reply and force.
 			lsn, err := p.appendRec(recReplyContent, cx.parent.id, &replyContentRec{Ctx: cx.parent.id, CallID: call.ID, Reply: *reply, Trace: call.Trace})
 			if err != nil {
@@ -257,6 +289,17 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 		p.lastCalls.put(call.ID.Caller, call.ID.Seq, reply, cx.parent.id)
 	}
 
+	// Adaptive epilogue: resolve the read-only guard (a violation
+	// demotes the method and captures the unlogged execution's damage
+	// as a forced state record before the reply externalizes), then
+	// feed the observation to the controller and apply any epoch
+	// decisions it returns.
+	if ad.active {
+		if err := p.adaptiveAfterExec(cx, call, ad); err != nil {
+			return fault(call.ID, "adaptive demote %q: %v", call.Method, err)
+		}
+	}
+
 	// Checkpoint policies (Section 4: state records are saved when the
 	// context is quiescent — right here, after the call finished and
 	// before the next is admitted).
@@ -282,7 +325,12 @@ func (p *Process) serveCall(call *msg.Call) *msg.Reply {
 	if !external && !call.KnowsServer {
 		reply.HasAttachment = true
 		reply.ServerType = cx.parent.ctype
-		reply.MethodReadOnly = roMethodAttr
+		// An adaptive read-only promotion travels in the attachment like
+		// a declared read-only method: clients may elide their message-3
+		// force for future calls (Algorithm 5's client side). Safe even
+		// if the method is later demoted — the attachment only relaxes
+		// the client while the server still guards itself.
+		reply.MethodReadOnly = roMethodAttr || ad.readOnly
 	}
 	p.traceSpan(call, trace.StageReply, replyStart)
 	return reply

@@ -20,7 +20,7 @@ type MetricNamesConfig struct {
 	NamesFile string
 	// Methods are the method names on ObsPath types that take a
 	// metric name as their first argument. Empty means Counter,
-	// Histogram, HistogramFor.
+	// Histogram, HistogramFor, Gauge.
 	Methods []string
 }
 
@@ -45,7 +45,7 @@ func NewMetricNames(cfg MetricNamesConfig, allow *Allowlist) *Analyzer {
 	methods := map[string]bool{}
 	names := cfg.Methods
 	if len(names) == 0 {
-		names = []string{"Counter", "Histogram", "HistogramFor"}
+		names = []string{"Counter", "Histogram", "HistogramFor", "Gauge"}
 	}
 	for _, m := range names {
 		methods[m] = true

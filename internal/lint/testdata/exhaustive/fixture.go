@@ -120,6 +120,38 @@ func badMode(m recMode) bool {
 	return true
 }
 
+// discipline mirrors core.Discipline: a three-value logging-discipline
+// enum whose String() carries a default rendering strays; switches
+// elsewhere must cover every discipline or carry a default.
+type discipline int
+
+const (
+	discBase discipline = iota
+	discAlgo2
+	discRO
+)
+
+func disciplineName(d discipline) string {
+	switch d {
+	case discBase:
+		return "baseline"
+	case discAlgo2:
+		return "algo2"
+	case discRO:
+		return "readonly"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+func badDiscipline(d discipline) bool {
+	switch d { // want `switch over .*\.discipline is missing cases discAlgo2, discRO and has no default`
+	case discBase:
+		return false
+	}
+	return true
+}
+
 // plain built-in types are not enums; nothing to flag.
 func notEnum(n int) int {
 	switch n {

@@ -7,6 +7,7 @@ type Registry struct{}
 
 func (r *Registry) Counter(name string) *int   { return nil }
 func (r *Registry) Histogram(name string) *int { return nil }
+func (r *Registry) Gauge(name string) *int     { return nil }
 
 // localAlias is a metric-name constant declared outside names.go.
 const localAlias = "fix.undeclared"
@@ -24,6 +25,9 @@ func use(r *Registry) {
 	r.Counter(MetricLazyOnDemand)       // ok: dotted lazy family
 	r.Histogram(MetricLazyTTFC)         // ok
 	r.Histogram("fix.lazy.ttfc_micros") // want `use the constant MetricLazyTTFC from .* instead of the literal "fix\.lazy\.ttfc_micros"`
+	r.Gauge(MetricDiscLevel)            // ok: gauge resolver
+	r.Gauge("fix.disc.level")           // want `use the constant MetricDiscLevel from .* instead of the literal "fix\.disc\.level"`
+	r.Gauge("fix.disc.rogue")           // want `metric name "fix\.disc\.rogue" is not declared in`
 }
 
 // dynamic names cannot be checked statically; nothing to flag.

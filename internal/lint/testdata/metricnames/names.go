@@ -16,4 +16,8 @@ const (
 	// shape) reconcile the same way.
 	MetricLazyOnDemand = "fix.lazy.on_demand_replays"
 	MetricLazyTTFC     = "fix.lazy.ttfc_micros"
+
+	// Gauge-resolved names (the adaptive.disc.* shape) reconcile
+	// through Registry.Gauge like any other resolver method.
+	MetricDiscLevel = "fix.disc.level"
 )

@@ -79,6 +79,9 @@ const (
 	RecCkptCtxTable  = "rec.ckpt_ctx_table"
 	RecCkptLastCall  = "rec.ckpt_last_call"
 	RecEndCkpt       = "rec.end_ckpt"
+	// RecDisciplineChange counts adaptive discipline-change records:
+	// promotions, demotions and checkpoint re-emissions made durable.
+	RecDisciplineChange = "rec.discipline_change"
 
 	// --- interceptions by logging discipline (server side of each
 	// incoming call; subordinate calls are client-side direct dispatch) ---
@@ -159,6 +162,44 @@ const (
 	// the first call admitted past a ready gate — perceived downtime.
 	RecoveryLazyTTFCMicros = "recovery.lazy.ttfc_micros"
 
+	// --- adaptive logging disciplines (internal/core adaptive.go).
+	// The controller observes each (component, method)'s interaction
+	// pattern per epoch and promotes/demotes its effective discipline;
+	// every transition is made durable as a discipline-change record
+	// before it takes effect. Counters account transitions and the
+	// forces the promoted disciplines elided (counted where the baseline
+	// discipline would have forced); gauges are the current number of
+	// methods under each promoted treatment. ---
+
+	// AdaptivePromotions counts discipline promotions applied (durable
+	// record forced, in-memory state flipped).
+	AdaptivePromotions = "adaptive.promotions"
+	// AdaptiveDemotions counts demotions, including read-only guard
+	// violations.
+	AdaptiveDemotions = "adaptive.demotions"
+	// AdaptiveROViolations counts read-only guard trips: a promoted
+	// method mutated state or made an outgoing call, and was demoted
+	// with a forced state save before its reply externalized.
+	AdaptiveROViolations = "adaptive.ro_violations"
+	// AdaptiveEpochs counts controller epoch boundaries crossed.
+	AdaptiveEpochs = "adaptive.epochs"
+	// AdaptiveForceAtChange is the per-site force counter of the
+	// discipline-change commit point (the record is forced before the
+	// new discipline takes effect).
+	AdaptiveForceAtChange = "adaptive.force.at_change"
+
+	// Forces elided because the controller promoted the method past the
+	// configured baseline (the adaptive analogue of force.elided_*).
+	AdaptiveElideAlgo2    = "adaptive.elided.algo2"     // message-1 forces skipped at promoted servers
+	AdaptiveElideReadOnly = "adaptive.elided.readonly"  // whole-discipline skips at RO-promoted methods
+	AdaptiveElideMulti    = "adaptive.elided.multicall" // send forces skipped by promoted multi-call elision
+
+	// Current discipline gauges: how many (component, method) pairs are
+	// under each promoted treatment right now.
+	AdaptiveDiscAlgo2    = "adaptive.disc.algo2"
+	AdaptiveDiscReadOnly = "adaptive.disc.readonly"
+	AdaptiveDiscMulti    = "adaptive.disc.multicall"
+
 	// --- rpc / transport ---
 
 	RPCCalls   = "rpc.calls"
@@ -213,18 +254,19 @@ const (
 	// for the retention you want at crash time.
 	TraceRingOverwrites = "trace.ring_overwrites"
 
-	TraceClientInterceptMicros = "trace.stage.client_intercept_micros"
-	TraceTransportMicros       = "trace.stage.transport_micros"
-	TraceServerInterceptMicros = "trace.stage.server_intercept_micros"
-	TraceWALAppendMicros       = "trace.stage.wal_append_micros"
-	TraceSyncWaitMicros        = "trace.stage.sync_wait_micros"
-	TraceExecuteMicros         = "trace.stage.execute_micros"
-	TraceReplyMicros           = "trace.stage.reply_micros"
-	TraceClientResumeMicros    = "trace.stage.client_resume_micros"
-	TraceRecoveryScanMicros    = "trace.stage.recovery_scan_micros"
-	TraceReplayQueueWaitMicros = "trace.stage.replay_queue_wait_micros"
-	TraceReplayMicros          = "trace.stage.replay_micros"
-	TraceDemandReplayMicros    = "trace.stage.demand_replay_micros"
+	TraceClientInterceptMicros  = "trace.stage.client_intercept_micros"
+	TraceTransportMicros        = "trace.stage.transport_micros"
+	TraceServerInterceptMicros  = "trace.stage.server_intercept_micros"
+	TraceWALAppendMicros        = "trace.stage.wal_append_micros"
+	TraceSyncWaitMicros         = "trace.stage.sync_wait_micros"
+	TraceExecuteMicros          = "trace.stage.execute_micros"
+	TraceReplyMicros            = "trace.stage.reply_micros"
+	TraceClientResumeMicros     = "trace.stage.client_resume_micros"
+	TraceRecoveryScanMicros     = "trace.stage.recovery_scan_micros"
+	TraceReplayQueueWaitMicros  = "trace.stage.replay_queue_wait_micros"
+	TraceReplayMicros           = "trace.stage.replay_micros"
+	TraceDemandReplayMicros     = "trace.stage.demand_replay_micros"
+	TraceDisciplineChangeMicros = "trace.stage.discipline_change_micros"
 )
 
 // TraceStageMicros lists the per-stage trace histograms in pipeline
@@ -242,6 +284,7 @@ var TraceStageMicros = []string{
 	TraceReplayQueueWaitMicros,
 	TraceReplayMicros,
 	TraceDemandReplayMicros,
+	TraceDisciplineChangeMicros,
 }
 
 // WALMetrics pre-resolves the device-boundary metrics for the log
@@ -324,18 +367,19 @@ type TraceMetrics struct {
 	Spans          *Counter
 	RingOverwrites *Counter
 
-	ClientInterceptMicros *Histogram
-	TransportMicros       *Histogram
-	ServerInterceptMicros *Histogram
-	WALAppendMicros       *Histogram
-	SyncWaitMicros        *Histogram
-	ExecuteMicros         *Histogram
-	ReplyMicros           *Histogram
-	ClientResumeMicros    *Histogram
-	RecoveryScanMicros    *Histogram
-	ReplayQueueWaitMicros *Histogram
-	ReplayMicros          *Histogram
-	DemandReplayMicros    *Histogram
+	ClientInterceptMicros  *Histogram
+	TransportMicros        *Histogram
+	ServerInterceptMicros  *Histogram
+	WALAppendMicros        *Histogram
+	SyncWaitMicros         *Histogram
+	ExecuteMicros          *Histogram
+	ReplyMicros            *Histogram
+	ClientResumeMicros     *Histogram
+	RecoveryScanMicros     *Histogram
+	ReplayQueueWaitMicros  *Histogram
+	ReplayMicros           *Histogram
+	DemandReplayMicros     *Histogram
+	DisciplineChangeMicros *Histogram
 }
 
 // TraceView resolves the trace.* bundle from r.
@@ -344,35 +388,37 @@ func TraceView(r *Registry) *TraceMetrics {
 		Spans:          r.Counter(TraceSpans),
 		RingOverwrites: r.Counter(TraceRingOverwrites),
 
-		ClientInterceptMicros: r.Histogram(TraceClientInterceptMicros),
-		TransportMicros:       r.Histogram(TraceTransportMicros),
-		ServerInterceptMicros: r.Histogram(TraceServerInterceptMicros),
-		WALAppendMicros:       r.Histogram(TraceWALAppendMicros),
-		SyncWaitMicros:        r.Histogram(TraceSyncWaitMicros),
-		ExecuteMicros:         r.Histogram(TraceExecuteMicros),
-		ReplyMicros:           r.Histogram(TraceReplyMicros),
-		ClientResumeMicros:    r.Histogram(TraceClientResumeMicros),
-		RecoveryScanMicros:    r.Histogram(TraceRecoveryScanMicros),
-		ReplayQueueWaitMicros: r.Histogram(TraceReplayQueueWaitMicros),
-		ReplayMicros:          r.Histogram(TraceReplayMicros),
-		DemandReplayMicros:    r.Histogram(TraceDemandReplayMicros),
+		ClientInterceptMicros:  r.Histogram(TraceClientInterceptMicros),
+		TransportMicros:        r.Histogram(TraceTransportMicros),
+		ServerInterceptMicros:  r.Histogram(TraceServerInterceptMicros),
+		WALAppendMicros:        r.Histogram(TraceWALAppendMicros),
+		SyncWaitMicros:         r.Histogram(TraceSyncWaitMicros),
+		ExecuteMicros:          r.Histogram(TraceExecuteMicros),
+		ReplyMicros:            r.Histogram(TraceReplyMicros),
+		ClientResumeMicros:     r.Histogram(TraceClientResumeMicros),
+		RecoveryScanMicros:     r.Histogram(TraceRecoveryScanMicros),
+		ReplayQueueWaitMicros:  r.Histogram(TraceReplayQueueWaitMicros),
+		ReplayMicros:           r.Histogram(TraceReplayMicros),
+		DemandReplayMicros:     r.Histogram(TraceDemandReplayMicros),
+		DisciplineChangeMicros: r.Histogram(TraceDisciplineChangeMicros),
 	}
 }
 
 // RuntimeMetrics pre-resolves the interception, checkpoint, recovery
 // and rpc metrics for the core runtime's hot paths.
 type RuntimeMetrics struct {
-	RecCreation      *Counter
-	RecIncoming      *Counter
-	RecReplySent     *Counter
-	RecReplyContent  *Counter
-	RecOutgoing      *Counter
-	RecOutgoingReply *Counter
-	RecCtxState      *Counter
-	RecBeginCkpt     *Counter
-	RecCkptCtxTable  *Counter
-	RecCkptLastCall  *Counter
-	RecEndCkpt       *Counter
+	RecCreation         *Counter
+	RecIncoming         *Counter
+	RecReplySent        *Counter
+	RecReplyContent     *Counter
+	RecOutgoing         *Counter
+	RecOutgoingReply    *Counter
+	RecCtxState         *Counter
+	RecBeginCkpt        *Counter
+	RecCkptCtxTable     *Counter
+	RecCkptLastCall     *Counter
+	RecEndCkpt          *Counter
+	RecDisciplineChange *Counter
 
 	InterceptAlgo1       *Counter
 	InterceptAlgo2       *Counter
@@ -410,6 +456,18 @@ type RuntimeMetrics struct {
 	RecoveryLazyCtxReplayMicros *Histogram
 	RecoveryLazyTTFCMicros      *Histogram
 
+	AdaptivePromotions    *Counter
+	AdaptiveDemotions     *Counter
+	AdaptiveROViolations  *Counter
+	AdaptiveEpochs        *Counter
+	AdaptiveForceAtChange *Counter
+	AdaptiveElideAlgo2    *Counter
+	AdaptiveElideReadOnly *Counter
+	AdaptiveElideMulti    *Counter
+	AdaptiveDiscAlgo2     *Gauge
+	AdaptiveDiscReadOnly  *Gauge
+	AdaptiveDiscMulti     *Gauge
+
 	RPCCalls        *Counter
 	RPCRetries      *Counter
 	RPCCallMicros   *Histogram
@@ -420,17 +478,18 @@ type RuntimeMetrics struct {
 // RuntimeView resolves the runtime bundle from r.
 func RuntimeView(r *Registry) *RuntimeMetrics {
 	return &RuntimeMetrics{
-		RecCreation:      r.Counter(RecCreation),
-		RecIncoming:      r.Counter(RecIncoming),
-		RecReplySent:     r.Counter(RecReplySent),
-		RecReplyContent:  r.Counter(RecReplyContent),
-		RecOutgoing:      r.Counter(RecOutgoing),
-		RecOutgoingReply: r.Counter(RecOutgoingReply),
-		RecCtxState:      r.Counter(RecCtxState),
-		RecBeginCkpt:     r.Counter(RecBeginCkpt),
-		RecCkptCtxTable:  r.Counter(RecCkptCtxTable),
-		RecCkptLastCall:  r.Counter(RecCkptLastCall),
-		RecEndCkpt:       r.Counter(RecEndCkpt),
+		RecCreation:         r.Counter(RecCreation),
+		RecIncoming:         r.Counter(RecIncoming),
+		RecReplySent:        r.Counter(RecReplySent),
+		RecReplyContent:     r.Counter(RecReplyContent),
+		RecOutgoing:         r.Counter(RecOutgoing),
+		RecOutgoingReply:    r.Counter(RecOutgoingReply),
+		RecCtxState:         r.Counter(RecCtxState),
+		RecBeginCkpt:        r.Counter(RecBeginCkpt),
+		RecCkptCtxTable:     r.Counter(RecCkptCtxTable),
+		RecCkptLastCall:     r.Counter(RecCkptLastCall),
+		RecEndCkpt:          r.Counter(RecEndCkpt),
+		RecDisciplineChange: r.Counter(RecDisciplineChange),
 
 		InterceptAlgo1:       r.Counter(InterceptAlgo1),
 		InterceptAlgo2:       r.Counter(InterceptAlgo2),
@@ -467,6 +526,18 @@ func RuntimeView(r *Registry) *RuntimeMetrics {
 		RecoveryLazyBackground:      r.Counter(RecoveryLazyBackground),
 		RecoveryLazyCtxReplayMicros: r.Histogram(RecoveryLazyCtxReplayMicros),
 		RecoveryLazyTTFCMicros:      r.Histogram(RecoveryLazyTTFCMicros),
+
+		AdaptivePromotions:    r.Counter(AdaptivePromotions),
+		AdaptiveDemotions:     r.Counter(AdaptiveDemotions),
+		AdaptiveROViolations:  r.Counter(AdaptiveROViolations),
+		AdaptiveEpochs:        r.Counter(AdaptiveEpochs),
+		AdaptiveForceAtChange: r.Counter(AdaptiveForceAtChange),
+		AdaptiveElideAlgo2:    r.Counter(AdaptiveElideAlgo2),
+		AdaptiveElideReadOnly: r.Counter(AdaptiveElideReadOnly),
+		AdaptiveElideMulti:    r.Counter(AdaptiveElideMulti),
+		AdaptiveDiscAlgo2:     r.Gauge(AdaptiveDiscAlgo2),
+		AdaptiveDiscReadOnly:  r.Gauge(AdaptiveDiscReadOnly),
+		AdaptiveDiscMulti:     r.Gauge(AdaptiveDiscMulti),
 
 		RPCCalls:        r.Counter(RPCCalls),
 		RPCRetries:      r.Counter(RPCRetries),

@@ -54,6 +54,36 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an atomic level — a value that goes up and down, unlike the
+// monotonic Counter (the adaptive controller's "methods currently under
+// discipline X" is the canonical user). Like Counter, the zero value is
+// ready and a nil *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current level (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
 // v==0, bucket i holds 2^(i-1) <= v < 2^i.
@@ -113,6 +143,7 @@ type Registry struct {
 	mu        sync.RWMutex
 	counters  map[string]*Counter
 	histogram map[string]*Histogram
+	gauges    map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -120,6 +151,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:  make(map[string]*Counter),
 		histogram: make(map[string]*Histogram),
+		gauges:    make(map[string]*Gauge),
 	}
 }
 
@@ -171,6 +203,26 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Snapshot captures every registered metric. The result is detached:
 // later updates do not change it.
 func (r *Registry) Snapshot() Snapshot {
@@ -189,6 +241,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.histogram {
 		s.Histograms[name] = h.Snapshot()
 	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
 	return s
 }
 
@@ -197,11 +255,14 @@ func (r *Registry) Snapshot() Snapshot {
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.histogram))
+	names := make([]string, 0, len(r.counters)+len(r.histogram)+len(r.gauges))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	for n := range r.histogram {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
